@@ -1,0 +1,214 @@
+package pops
+
+// Benchmark harness: one benchmark per experiment of DESIGN.md's index.
+// Run with: go test -bench=. -benchmem
+//
+// E1  — planning random permutations across network shapes
+// E7  — Theorem 2 vs greedy baseline on the adversarial workload
+// E10 — Remark 1: edge-coloring backend comparison
+// E11 — planning-cost scaling at fixed d/g ratios
+// plus simulator replay and application-level (Cannon matmul, hypercube
+// scan) benchmarks for E12.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"pops/internal/core"
+	"pops/internal/hypercube"
+	"pops/internal/matmul"
+	"pops/internal/perms"
+	"pops/internal/popsnet"
+)
+
+func benchShapes() []struct{ d, g int } {
+	return []struct{ d, g int }{
+		{1, 64}, {8, 8}, {4, 16}, {16, 4}, {32, 32}, {64, 16}, {16, 64},
+	}
+}
+
+// BenchmarkE1PlanRandom measures end-to-end planning (demand graph, balanced
+// coloring, schedule construction) for random permutations.
+func BenchmarkE1PlanRandom(b *testing.B) {
+	for _, s := range benchShapes() {
+		rng := rand.New(rand.NewSource(1))
+		pi := perms.Random(s.d*s.g, rng)
+		b.Run(fmt.Sprintf("d=%d/g=%d/n=%d", s.d, s.g, s.d*s.g), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p, err := core.PlanRoute(s.d, s.g, pi, core.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if p.SlotCount() != core.OptimalSlots(s.d, s.g) {
+					b.Fatal("wrong slot count")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE7Theorem2VsGreedy compares planner and baseline on the
+// group-rotation adversary where the separation is Θ(g).
+func BenchmarkE7Theorem2VsGreedy(b *testing.B) {
+	d, g := 32, 32
+	pi, err := perms.GroupRotation(d, g, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("theorem2", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p, err := core.PlanRoute(d, g, pi, core.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if p.SlotCount() != 2 {
+				b.Fatal("wrong slot count")
+			}
+		}
+	})
+	b.Run("greedy", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := GreedyRoute(d, g, pi); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE10Factorize compares the three 1-factorization backends on the
+// square (d = g) planning workload — the Remark 1 ablation.
+func BenchmarkE10Factorize(b *testing.B) {
+	for _, algo := range []Algorithm{RepeatedMatching, EulerSplitDC, Insertion} {
+		for _, g := range []int{32, 128, 512} {
+			rng := rand.New(rand.NewSource(2))
+			pi := perms.Random(g*g, rng)
+			b.Run(fmt.Sprintf("%v/g=%d", algo, g), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := core.PlanRoute(g, g, pi, core.Options{Algorithm: algo}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkE11PlanScaling sweeps n at fixed d/g ratios with the default
+// backend (the paper's O(g³) / O(n log d) complexity discussion).
+func BenchmarkE11PlanScaling(b *testing.B) {
+	type shape struct {
+		name string
+		d, g int
+	}
+	var shapes []shape
+	for _, g := range []int{32, 64, 128, 256} {
+		shapes = append(shapes, shape{fmt.Sprintf("d=g/g=%d", g), g, g})
+	}
+	for _, g := range []int{16, 32, 64} {
+		shapes = append(shapes, shape{fmt.Sprintf("d=4g/g=%d", g), 4 * g, g})
+		shapes = append(shapes, shape{fmt.Sprintf("g=4d/d=%d", g), g, 4 * g})
+	}
+	for _, s := range shapes {
+		rng := rand.New(rand.NewSource(3))
+		pi := perms.Random(s.d*s.g, rng)
+		b.Run(s.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.PlanRoute(s.d, s.g, pi, core.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSimulatorReplay measures the popsnet oracle itself: replaying and
+// conflict-checking a planned schedule.
+func BenchmarkSimulatorReplay(b *testing.B) {
+	for _, s := range []struct{ d, g int }{{8, 8}, {32, 32}, {64, 16}} {
+		rng := rand.New(rand.NewSource(4))
+		pi := perms.Random(s.d*s.g, rng)
+		p, err := core.PlanRoute(s.d, s.g, pi, core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sched := p.Schedule()
+		b.Run(fmt.Sprintf("d=%d/g=%d", s.d, s.g), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := popsnet.VerifyPermutationRouted(sched, pi); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE12Matmul measures Cannon's algorithm end to end (planning +
+// verified replay of every data movement).
+func BenchmarkE12Matmul(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	m := 8
+	a := make([][]int64, m)
+	bb := make([][]int64, m)
+	for i := 0; i < m; i++ {
+		a[i] = make([]int64, m)
+		bb[i] = make([]int64, m)
+		for j := 0; j < m; j++ {
+			a[i][j] = int64(rng.Intn(10))
+			bb[i][j] = int64(rng.Intn(10))
+		}
+	}
+	b.Run(fmt.Sprintf("m=%d/POPS(8,8)", m), func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := matmul.Multiply(m, 8, 8, a, bb, core.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Slots != matmul.PredictedSlots(m, 8, 8) {
+				b.Fatal("slot mismatch")
+			}
+		}
+	})
+}
+
+// BenchmarkE12HypercubeScan measures a full prefix-sum scan on a simulated
+// hypercube, including all verified routings.
+func BenchmarkE12HypercubeScan(b *testing.B) {
+	bits, d, g := 6, 8, 8
+	vals := make([]int64, 1<<bits)
+	for i := range vals {
+		vals[i] = int64(i)
+	}
+	b.Run(fmt.Sprintf("bits=%d/POPS(%d,%d)", bits, d, g), func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m, err := hypercube.New(bits, d, g, nil, core.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := m.Load(vals); err != nil {
+				b.Fatal(err)
+			}
+			if err := m.PrefixSum(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkBroadcast measures the one-slot one-to-all primitive.
+func BenchmarkBroadcast(b *testing.B) {
+	nw, err := NewNetwork(32, 32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sched, err := OneToAll(nw, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(sched); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,30 @@
+package main
+
+import "testing"
+
+func TestRunSingleExperiments(t *testing.T) {
+	for _, id := range []string{"E1", "E2", "E3", "E5", "E6", "E9", "F", "f1"} {
+		tables, err := run(id, 1, 2)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(tables) != 1 {
+			t.Fatalf("%s: %d tables", id, len(tables))
+		}
+		if len(tables[0].Rows) == 0 {
+			t.Fatalf("%s: empty table", id)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if _, err := run("E99", 1, 1); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunCaseInsensitive(t *testing.T) {
+	if _, err := run("e3", 1, 1); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,164 @@
+// Command popsroute plans and verifies the Theorem 2 routing of a
+// permutation on a POPS(d, g) network and prints the resulting schedule.
+//
+// Usage:
+//
+//	popsroute -d 3 -g 3 -perm 4,8,3,6,0,2,7,1,5   # Figure 3 of the paper
+//	popsroute -d 8 -g 4 -family random -seed 7
+//	popsroute -d 4 -g 4 -family reversal -schedule
+//	popsroute -d 3 -g 3 -topology
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"pops"
+	"pops/internal/popsnet"
+)
+
+func main() {
+	var (
+		d        = flag.Int("d", 3, "processors per group")
+		g        = flag.Int("g", 3, "number of groups")
+		permSpec = flag.String("perm", "", "explicit permutation, comma-separated destinations")
+		family   = flag.String("family", "", "named family: random | derangement | reversal | rotation | transpose | identity")
+		seed     = flag.Int64("seed", 1, "seed for random families")
+		topology = flag.Bool("topology", false, "print network structure and exit")
+		schedule = flag.Bool("schedule", false, "print the full slot schedule")
+		stats    = flag.Bool("stats", false, "print schedule resource statistics")
+	)
+	flag.Parse()
+
+	if err := run(*d, *g, *permSpec, *family, *seed, *topology, *schedule, *stats); err != nil {
+		fmt.Fprintf(os.Stderr, "popsroute: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(d, g int, permSpec, family string, seed int64, topology, schedule, stats bool) error {
+	nw, err := pops.NewNetwork(d, g)
+	if err != nil {
+		return err
+	}
+	if topology {
+		printTopology(nw)
+		return nil
+	}
+
+	pi, err := buildPermutation(nw, permSpec, family, seed)
+	if err != nil {
+		return err
+	}
+
+	plan, err := pops.Route(d, g, pi)
+	if err != nil {
+		return err
+	}
+	tr, err := plan.Verify()
+	if err != nil {
+		return fmt.Errorf("schedule failed simulation: %w", err)
+	}
+
+	fmt.Printf("%v: n=%d processors, %d couplers\n", nw, nw.N(), nw.Couplers())
+	fmt.Printf("permutation: %v\n", pi)
+	lb, prop, err := pops.LowerBound(d, g, pi)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("slots used: %d (Theorem 2 bound: %d, lower bound: %d via %s)\n",
+		plan.SlotCount(), pops.OptimalSlots(d, g), lb, prop)
+	oneSlot, err := pops.IsOneSlotRoutable(d, g, pi)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("single-slot routable (Gravenstreter–Melhem): %v\n", oneSlot)
+	_, greedySlots, err := pops.GreedyRoute(d, g, pi)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("greedy direct baseline: %d slots\n", greedySlots)
+	if d > 1 {
+		fmt.Println("relay assignment (packet: intermediate group @ round):")
+		for p := 0; p < nw.N(); p++ {
+			fmt.Printf("  packet %3d -> proc %3d   via group %d round %d\n",
+				p, pi[p], plan.IntermediateGroup(p), plan.Round(p))
+		}
+	}
+	if schedule {
+		if err := plan.Schedule().Format(os.Stdout); err != nil {
+			return err
+		}
+	}
+	if stats {
+		st := popsnet.ComputeStats(plan.Schedule())
+		fmt.Printf("schedule stats: %d slots, %d sends, %d recvs, %d/%d coupler-slots used (utilization %.2f)\n",
+			st.Slots, st.Sends, st.Recvs, st.CouplersUsed, st.Slots*st.MaxCouplers, st.Utilization)
+	}
+	_ = tr
+	return nil
+}
+
+func buildPermutation(nw pops.Network, permSpec, family string, seed int64) ([]int, error) {
+	n := nw.N()
+	if permSpec != "" {
+		parts := strings.Split(permSpec, ",")
+		pi := make([]int, 0, len(parts))
+		for _, p := range parts {
+			v, err := strconv.Atoi(strings.TrimSpace(p))
+			if err != nil {
+				return nil, fmt.Errorf("bad permutation entry %q: %w", p, err)
+			}
+			pi = append(pi, v)
+		}
+		if len(pi) != n {
+			return nil, fmt.Errorf("permutation has %d entries, network has %d processors", len(pi), n)
+		}
+		if err := pops.ValidatePermutation(pi); err != nil {
+			return nil, err
+		}
+		return pi, nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	switch family {
+	case "", "random":
+		return pops.RandomPermutation(n, rng), nil
+	case "derangement":
+		return pops.RandomDerangement(n, rng), nil
+	case "reversal":
+		return pops.VectorReversal(n), nil
+	case "rotation":
+		return pops.GroupRotation(nw.D, nw.G, 1)
+	case "transpose":
+		r := 1
+		for (r+1)*(r+1) <= n {
+			r++
+		}
+		if r*r != n {
+			return nil, fmt.Errorf("transpose needs a square processor count, n=%d", n)
+		}
+		return pops.Transpose(r, r), nil
+	case "identity":
+		return pops.IdentityPermutation(n), nil
+	default:
+		return nil, fmt.Errorf("unknown family %q", family)
+	}
+}
+
+func printTopology(nw pops.Network) {
+	fmt.Printf("%v\n", nw)
+	fmt.Printf("  processors: %d (groups of %d)\n", nw.N(), nw.D)
+	fmt.Printf("  couplers:   %d (= g²)\n", nw.Couplers())
+	fmt.Printf("  diameter:   1 (coupler c(b,a) joins every group pair)\n")
+	fmt.Printf("  per-processor: %d transmitters, %d receivers\n", nw.G, nw.G)
+	for b := 0; b < nw.G; b++ {
+		for a := 0; a < nw.G; a++ {
+			fmt.Printf("  c(%d,%d): sources group %d [%d..%d], destinations group %d [%d..%d]\n",
+				b, a, a, a*nw.D, a*nw.D+nw.D-1, b, b*nw.D, b*nw.D+nw.D-1)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"testing"
+
+	"pops"
+)
+
+func TestBuildPermutationExplicit(t *testing.T) {
+	nw, err := pops.NewNetwork(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi, err := buildPermutation(nw, "4,8,3,6,0,2,7,1,5", "", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pi[0] != 4 || pi[8] != 5 {
+		t.Fatalf("parsed permutation = %v", pi)
+	}
+}
+
+func TestBuildPermutationRejectsBadSpecs(t *testing.T) {
+	nw, err := pops.NewNetwork(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []string{"1,2", "0,1,2,x", "0,0,1,1", "0,1,2,9"}
+	for _, spec := range cases {
+		if _, err := buildPermutation(nw, spec, "", 1); err == nil {
+			t.Errorf("spec %q accepted", spec)
+		}
+	}
+}
+
+func TestBuildPermutationFamilies(t *testing.T) {
+	nw, err := pops.NewNetwork(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fam := range []string{"", "random", "derangement", "reversal", "rotation", "transpose", "identity"} {
+		pi, err := buildPermutation(nw, "", fam, 7)
+		if err != nil {
+			t.Fatalf("family %q: %v", fam, err)
+		}
+		if err := pops.ValidatePermutation(pi); err != nil {
+			t.Fatalf("family %q: %v", fam, err)
+		}
+	}
+	if _, err := buildPermutation(nw, "", "nonsense", 1); err == nil {
+		t.Fatal("unknown family accepted")
+	}
+	// Transpose on a non-square processor count.
+	nw2, err := pops.NewNetwork(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := buildPermutation(nw2, "", "transpose", 1); err == nil {
+		t.Fatal("transpose accepted non-square n")
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	// Figure 3 instance, with and without schedule printing.
+	if err := run(3, 3, "4,8,3,6,0,2,7,1,5", "", 1, false, true, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(2, 4, "", "reversal", 1, false, false, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(3, 3, "", "", 1, true, false, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(0, 3, "", "", 1, false, false, false); err == nil {
+		t.Fatal("invalid shape accepted")
+	}
+}

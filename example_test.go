@@ -1,0 +1,79 @@
+package pops_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pops"
+)
+
+// ExampleRoute routes the Figure 3 permutation of the paper on POPS(3,3).
+func ExampleRoute() {
+	pi := []int{4, 8, 3, 6, 0, 2, 7, 1, 5} // Figure 3
+	plan, err := pops.Route(3, 3, pi)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("slots:", plan.SlotCount())
+	if _, err := plan.Verify(); err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("delivered: all packets")
+	// Output:
+	// slots: 2
+	// delivered: all packets
+}
+
+// ExampleOptimalSlots shows the Theorem 2 slot bound across network shapes.
+func ExampleOptimalSlots() {
+	fmt.Println(pops.OptimalSlots(1, 16)) // d = 1: one slot
+	fmt.Println(pops.OptimalSlots(8, 8))  // d ≤ g: two slots
+	fmt.Println(pops.OptimalSlots(9, 3))  // d > g: 2⌈9/3⌉
+	// Output:
+	// 1
+	// 2
+	// 6
+}
+
+// ExampleLowerBound classifies vector reversal, the paper's optimality
+// witness (Proposition 2).
+func ExampleLowerBound() {
+	lb, prop, _ := pops.LowerBound(4, 2, pops.VectorReversal(8))
+	fmt.Printf("%d slots via %s; achieved %d\n", lb, prop, pops.OptimalSlots(4, 2))
+	// Output:
+	// 4 slots via Prop2; achieved 4
+}
+
+// ExampleGreedyRoute shows the adversarial instance where direct routing
+// degenerates and the two-phase routing of Theorem 2 wins.
+func ExampleGreedyRoute() {
+	pi, _ := pops.GroupRotation(16, 4, 1) // every group targets the next one
+	_, greedySlots, _ := pops.GreedyRoute(16, 4, pi)
+	plan, _ := pops.Route(16, 4, pi)
+	fmt.Printf("greedy: %d slots, Theorem 2: %d slots\n", greedySlots, plan.SlotCount())
+	// Output:
+	// greedy: 16 slots, Theorem 2: 8 slots
+}
+
+// ExampleDirectOptimalRoute recovers Sahni's specialized transpose bound.
+func ExampleDirectOptimalRoute() {
+	pi := pops.Transpose(4, 4) // 4×4 matrix on POPS(8,2)
+	_, slots, _ := pops.DirectOptimalRoute(8, 2, pi)
+	fmt.Printf("transpose: %d slots (general bound %d)\n", slots, pops.OptimalSlots(8, 2))
+	// Output:
+	// transpose: 4 slots (general bound 8)
+}
+
+// ExampleIsOneSlotRoutable shows the Gravenstreter–Melhem characterization.
+func ExampleIsOneSlotRoutable() {
+	rng := rand.New(rand.NewSource(1))
+	ok, _ := pops.IsOneSlotRoutable(1, 8, pops.RandomPermutation(8, rng))
+	fmt.Println("d=1 random:", ok)
+	ok, _ = pops.IsOneSlotRoutable(3, 3, []int{4, 8, 3, 6, 0, 2, 7, 1, 5})
+	fmt.Println("Figure 3:", ok)
+	// Output:
+	// d=1 random: true
+	// Figure 3: false
+}

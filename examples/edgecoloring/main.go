@@ -1,0 +1,52 @@
+// Edge coloring and fair distributions: the Theorem 1 machinery exposed.
+// Builds the proper list system of the Figure 3 permutation on POPS(3,3),
+// computes a fair distribution with each of the three coloring backends, and
+// shows the invariants (1)–(3) holding.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pops/internal/edgecolor"
+	"pops/internal/fairdist"
+)
+
+func main() {
+	// Figure 3 of the paper: POPS(3,3), destinations per processor.
+	pi := []int{4, 8, 3, 6, 0, 2, 7, 1, 5}
+	d, g := 3, 3
+
+	ls, err := fairdist.FromPermutation(d, g, pi)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("list system from Figure 3's permutation (L(h,i) = destination group of packet i of group h):\n")
+	for h, list := range ls.Lists {
+		fmt.Printf("  L_%d = %v\n", h, list)
+	}
+	proper, err := ls.IsProper()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("proper: %v (every group appears Δ1 = %d times; n2 = %d divides n1·Δ1 = %d)\n\n",
+		proper, ls.Delta1(), ls.NTargets, ls.NSources*ls.Delta1())
+
+	for _, algo := range []edgecolor.Algorithm{
+		edgecolor.RepeatedMatching, edgecolor.EulerSplitDC, edgecolor.Insertion,
+	} {
+		f, err := ls.FairDistribution(algo)
+		if err != nil {
+			log.Fatalf("%v: %v", algo, err)
+		}
+		if err := ls.Verify(f); err != nil {
+			log.Fatalf("%v: fair distribution invalid: %v", algo, err)
+		}
+		fmt.Printf("fair distribution via %s:\n", algo)
+		for h, row := range f {
+			fmt.Printf("  f(%d,·) = %v\n", h, row)
+		}
+		fmt.Printf("  invariants (1)-(3) verified: per-source injective, per-target load Δ2 = %d, conflicting packets separated\n\n",
+			ls.Delta2())
+	}
+}

@@ -1,0 +1,46 @@
+// h-relation routing on POPS: an all-to-all personalized exchange between
+// two halves of the machine, where every left processor sends one packet to
+// each of h right processors — the generalization of permutation routing the
+// paper's machinery supports directly. The relation is decomposed into h
+// permutations (König on the request multigraph), each routed by Theorem 2.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pops"
+)
+
+func main() {
+	const d, g = 4, 4 // 16 processors
+	n := d * g
+	half := n / 2
+	const h = 4 // each left processor talks to 4 right processors
+
+	var reqs []pops.Request
+	for src := 0; src < half; src++ {
+		for k := 0; k < h; k++ {
+			dst := half + (src+k)%half
+			reqs = append(reqs, pops.Request{Src: src, Dst: dst})
+		}
+	}
+
+	plan, err := pops.RouteHRelation(d, g, reqs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	trace, err := plan.Verify()
+	if err != nil {
+		log.Fatalf("schedule failed simulation: %v", err)
+	}
+
+	fmt.Printf("h-relation: %d requests on POPS(%d,%d), degree h = %d\n", len(reqs), d, g, plan.H)
+	fmt.Printf("decomposed into %d permutation factors\n", len(plan.Factors))
+	for k, f := range plan.Factors {
+		fmt.Printf("  factor %d routes %d real requests\n", k, len(f))
+	}
+	fmt.Printf("total slots: %d (= h · 2⌈d/g⌉ = %d)\n", plan.SlotCount(), pops.HRelationSlots(d, g, plan.H))
+	fmt.Printf("packets moved per slot: %v\n", trace.PacketsMoved)
+	fmt.Println("all requests delivered and verified on the simulator")
+}

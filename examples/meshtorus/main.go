@@ -1,0 +1,88 @@
+// Mesh torus on POPS: runs a 4-neighbor stencil relaxation (integer heat
+// diffusion) on an 8×8 wraparound mesh simulated by a POPS(8,8) network.
+// Every mesh step is a permutation routed by Theorem 2 in 2⌈d/g⌉ slots; the
+// example reports the exact communication bill and cross-checks the final
+// state against a direct computation.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pops/internal/core"
+	"pops/internal/mesh"
+)
+
+const (
+	rows, cols = 8, 8
+	d, g       = 8, 8
+	iterations = 5
+)
+
+func main() {
+	m, err := mesh.New(rows, cols, d, g, nil, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A hot spot in one corner, scaled so integer division keeps signal.
+	grid := make([]int64, rows*cols)
+	grid[0] = 1 << 20
+	if err := m.Load(grid); err != nil {
+		log.Fatal(err)
+	}
+
+	// Reference computation on a plain array.
+	ref := append([]int64(nil), grid...)
+	neighbors := func(v []int64, i, j int) int64 {
+		up := v[((i-1+rows)%rows)*cols+j]
+		down := v[((i+1)%rows)*cols+j]
+		left := v[i*cols+(j-1+cols)%cols]
+		right := v[i*cols+(j+1)%cols]
+		return up + down + left + right
+	}
+
+	for it := 0; it < iterations; it++ {
+		// On the POPS machine: gather the four shifted copies.
+		center := append([]int64(nil), m.Values...)
+		acc := make([]int64, len(center))
+		for _, dir := range [][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+			if err := m.Load(center); err != nil {
+				log.Fatal(err)
+			}
+			if err := m.Shift(dir[0], dir[1]); err != nil {
+				log.Fatal(err)
+			}
+			for i := range acc {
+				acc[i] += m.Values[i]
+			}
+		}
+		for i := range acc {
+			acc[i] = (center[i] + acc[i]/4) / 2
+		}
+		if err := m.Load(acc); err != nil {
+			log.Fatal(err)
+		}
+
+		// Reference step.
+		next := make([]int64, len(ref))
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				next[i*cols+j] = (ref[i*cols+j] + neighbors(ref, i, j)/4) / 2
+			}
+		}
+		ref = next
+	}
+
+	for i := range ref {
+		if m.Values[i] != ref[i] {
+			log.Fatalf("POPS result diverges from reference at %d: %d != %d", i, m.Values[i], ref[i])
+		}
+	}
+
+	fmt.Printf("%d stencil iterations on an %dx%d torus over POPS(%d,%d)\n", iterations, rows, cols, d, g)
+	fmt.Printf("mesh steps routed: %d, total slots: %d (per step: %d = 2⌈d/g⌉)\n",
+		4*iterations, m.SlotsUsed(), m.StepCost())
+	fmt.Println("final grid (row 0):", m.Values[:cols])
+	fmt.Println("matches direct computation: yes")
+}

@@ -1,0 +1,134 @@
+// Package bounds implements the lower-bound machinery of Mei & Rizzi
+// (Propositions 1–3) and the permutation classification the propositions
+// hinge on. Together with the planner's 2⌈d/g⌉ upper bound this yields the
+// paper's optimality statements: the routing is worst-case optimal, within
+// a factor 2 of optimal for every derangement, and exactly optimal for the
+// group-mapping derangement class.
+package bounds
+
+import (
+	"fmt"
+
+	"pops/internal/perms"
+)
+
+// Class describes the structural properties of a permutation relative to a
+// POPS(d, g) partition that the lower bounds depend on.
+type Class struct {
+	D, G int
+	// Derangement: π(i) ≠ i for all i (hypothesis of Propositions 1 and 3).
+	Derangement bool
+	// GroupMapping: group(i) = group(j) ⇒ group(π(i)) = group(π(j)) — whole
+	// groups map to single groups (hypothesis of Propositions 2 and 3).
+	GroupMapping bool
+	// GroupDerangement: group(π(i)) ≠ group(i) for all i (hypothesis of
+	// Proposition 2).
+	GroupDerangement bool
+}
+
+// Classify computes the Class of pi on POPS(d, g).
+func Classify(d, g int, pi []int) (Class, error) {
+	if d < 1 || g < 1 {
+		return Class{}, fmt.Errorf("bounds: invalid shape d=%d g=%d", d, g)
+	}
+	if len(pi) != d*g {
+		return Class{}, fmt.Errorf("bounds: permutation length %d, want %d", len(pi), d*g)
+	}
+	if err := perms.Validate(pi); err != nil {
+		return Class{}, fmt.Errorf("bounds: %w", err)
+	}
+	c := Class{D: d, G: g, Derangement: true, GroupMapping: true, GroupDerangement: true}
+	groupOf := func(p int) int { return p / d }
+	for h := 0; h < g; h++ {
+		first := groupOf(pi[h*d])
+		for i := 0; i < d; i++ {
+			p := i + h*d
+			if pi[p] == p {
+				c.Derangement = false
+			}
+			if groupOf(pi[p]) != first {
+				c.GroupMapping = false
+			}
+			if groupOf(pi[p]) == h {
+				c.GroupDerangement = false
+			}
+		}
+	}
+	return c, nil
+}
+
+// ceilDiv returns ⌈a/b⌉ for positive b.
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// Prop1 returns the Proposition 1 lower bound for a derangement:
+// ⌈n/g²⌉ = ⌈d/g⌉ slots, because every packet needs at least one hop and at
+// most g² packets move per slot. It returns 0 if the hypothesis fails.
+func Prop1(c Class) int {
+	if !c.Derangement {
+		return 0
+	}
+	return ceilDiv(c.D, c.G)
+}
+
+// Prop2 returns the Proposition 2 lower bound: 2⌈d/g⌉ slots when whole
+// groups map to distinct single groups (group-mapping + group-derangement).
+// It returns 0 if the hypothesis fails.
+//
+// The proposition implicitly assumes d > 1: with d = 1 every permutation
+// routes in a single slot (Theorem 2), so the multi-hop argument behind the
+// bound does not apply and Prop2 reports 0.
+func Prop2(c Class) int {
+	if c.D == 1 || !c.GroupMapping || !c.GroupDerangement {
+		return 0
+	}
+	return 2 * ceilDiv(c.D, c.G)
+}
+
+// Prop3 returns the Proposition 3 lower bound: 2⌈d/(1+g)⌉ slots for
+// group-mapping derangements (fixed destination groups allowed). It returns
+// 0 if the hypothesis fails.
+// Like Prop2, the bound presupposes d > 1 (for d = 1 one slot suffices by
+// Theorem 2), so Prop3 reports 0 in that case.
+func Prop3(c Class) int {
+	if c.D == 1 || !c.Derangement || !c.GroupMapping {
+		return 0
+	}
+	return 2 * ceilDiv(c.D, 1+c.G)
+}
+
+// LowerBound returns the strongest applicable lower bound on the number of
+// slots any algorithm needs to route pi on POPS(d, g), together with the
+// name of the proposition that supplies it. Permutations with fixed points
+// (and no applicable proposition) get the trivial bound 0 slots ("none"):
+// the identity genuinely needs no communication.
+func LowerBound(d, g int, pi []int) (int, string, error) {
+	c, err := Classify(d, g, pi)
+	if err != nil {
+		return 0, "", err
+	}
+	// On ties the stronger statement wins: Prop2 subsumes Prop3 subsumes
+	// Prop1 whenever their hypotheses overlap.
+	best, name := 0, "none"
+	for _, cand := range []struct {
+		bound int
+		prop  string
+	}{
+		{Prop2(c), "Prop2"},
+		{Prop3(c), "Prop3"},
+		{Prop1(c), "Prop1"},
+	} {
+		if cand.bound > best {
+			best, name = cand.bound, cand.prop
+		}
+	}
+	return best, name, nil
+}
+
+// OptimalityRatio returns achievedSlots / lowerBound as a float, or 0 when
+// the lower bound is 0 (ratio undefined).
+func OptimalityRatio(achievedSlots, lowerBound int) float64 {
+	if lowerBound == 0 {
+		return 0
+	}
+	return float64(achievedSlots) / float64(lowerBound)
+}

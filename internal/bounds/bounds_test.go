@@ -1,0 +1,204 @@
+package bounds
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pops/internal/core"
+	"pops/internal/perms"
+)
+
+func TestClassifyValidation(t *testing.T) {
+	if _, err := Classify(0, 2, nil); err == nil {
+		t.Fatal("d=0 accepted")
+	}
+	if _, err := Classify(2, 2, []int{0}); err == nil {
+		t.Fatal("short permutation accepted")
+	}
+	if _, err := Classify(2, 2, []int{0, 0, 1, 1}); err == nil {
+		t.Fatal("non-permutation accepted")
+	}
+}
+
+func TestClassifyIdentity(t *testing.T) {
+	c, err := Classify(2, 3, perms.Identity(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Derangement || c.GroupDerangement {
+		t.Fatal("identity misclassified as derangement")
+	}
+	if !c.GroupMapping {
+		t.Fatal("identity is group-mapping")
+	}
+}
+
+func TestClassifyVectorReversal(t *testing.T) {
+	// Reversal on POPS(2,2): π = 3,2,1,0. Group 0 → group 1 and vice versa:
+	// derangement, group-mapping, group-derangement.
+	c, err := Classify(2, 2, perms.VectorReversal(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Derangement || !c.GroupMapping || !c.GroupDerangement {
+		t.Fatalf("reversal class = %+v", c)
+	}
+}
+
+func TestClassifyMixedDestinations(t *testing.T) {
+	// π sends group 0's packets to different groups: not group-mapping.
+	pi := []int{0, 2, 1, 3} // d=2, g=2: packet 0 stays, packet 1 → group 1
+	c, err := Classify(2, 2, pi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.GroupMapping {
+		t.Fatal("non-uniform destinations classified group-mapping")
+	}
+	if c.Derangement {
+		t.Fatal("π(0)=0 classified derangement")
+	}
+}
+
+func TestProp1(t *testing.T) {
+	c := Class{D: 8, G: 2, Derangement: true}
+	if got := Prop1(c); got != 4 {
+		t.Fatalf("Prop1 = %d, want 4", got)
+	}
+	c.Derangement = false
+	if got := Prop1(c); got != 0 {
+		t.Fatal("Prop1 fired without hypothesis")
+	}
+}
+
+func TestProp2(t *testing.T) {
+	c := Class{D: 8, G: 2, GroupMapping: true, GroupDerangement: true}
+	if got := Prop2(c); got != 8 {
+		t.Fatalf("Prop2 = %d, want 8", got)
+	}
+	c.GroupDerangement = false
+	if Prop2(c) != 0 {
+		t.Fatal("Prop2 fired without group derangement")
+	}
+}
+
+func TestProp3(t *testing.T) {
+	c := Class{D: 9, G: 2, Derangement: true, GroupMapping: true}
+	if got := Prop3(c); got != 6 {
+		t.Fatalf("Prop3 = %d, want 2*ceil(9/3) = 6", got)
+	}
+	c.GroupMapping = false
+	if Prop3(c) != 0 {
+		t.Fatal("Prop3 fired without group mapping")
+	}
+}
+
+func TestLowerBoundReversal(t *testing.T) {
+	// Vector reversal with even g meets Prop2: lower bound equals the
+	// algorithm's 2⌈d/g⌉ — the optimality example of Section 3.3.
+	for _, tc := range []struct{ d, g int }{{2, 2}, {4, 2}, {3, 4}, {8, 4}} {
+		pi := perms.VectorReversal(tc.d * tc.g)
+		lb, name, err := LowerBound(tc.d, tc.g, pi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if name != "Prop2" {
+			t.Fatalf("d=%d g=%d: bound from %s, want Prop2", tc.d, tc.g, name)
+		}
+		if want := core.OptimalSlots(tc.d, tc.g); lb != want {
+			t.Fatalf("d=%d g=%d: lb = %d, want %d", tc.d, tc.g, lb, want)
+		}
+	}
+}
+
+func TestLowerBoundIdentity(t *testing.T) {
+	lb, name, err := LowerBound(2, 2, perms.Identity(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lb != 0 || name != "none" {
+		t.Fatalf("identity bound = %d (%s), want 0 (none)", lb, name)
+	}
+}
+
+func TestLowerBoundGroupMappingWithFixedGroups(t *testing.T) {
+	// Inner derangement within each group, σ = identity: group-mapping
+	// derangement with fixed destination groups — Proposition 3 applies,
+	// Proposition 2 does not.
+	d, g := 6, 2
+	inner := [][]int{perms.CyclicShift(d, 1), perms.CyclicShift(d, 1)}
+	pi, err := perms.BlockPermutation(d, g, perms.Identity(g), inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb, name, err := LowerBound(d, g, pi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "Prop3" {
+		t.Fatalf("bound from %s, want Prop3", name)
+	}
+	if want := 2 * ((d + g) / (1 + g)); lb != want {
+		t.Fatalf("lb = %d, want %d", lb, want)
+	}
+}
+
+func TestUpperBoundNeverBelowLowerBound(t *testing.T) {
+	// Soundness of the whole story: for random permutations the planner's
+	// slot count is ≥ every applicable lower bound, and ≤ 2× Prop1's bound
+	// when it applies (the paper's "at most double the optimum").
+	rng := rand.New(rand.NewSource(77))
+	for _, tc := range []struct{ d, g int }{{2, 2}, {4, 4}, {8, 2}, {3, 5}, {9, 3}} {
+		n := tc.d * tc.g
+		for trial := 0; trial < 5; trial++ {
+			pi := perms.RandomDerangement(n, rng)
+			lb, _, err := LowerBound(tc.d, tc.g, pi)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := core.OptimalSlots(tc.d, tc.g)
+			if got < lb {
+				t.Fatalf("d=%d g=%d: slots %d below lower bound %d", tc.d, tc.g, got, lb)
+			}
+			// Derangement: Prop1 gives ⌈d/g⌉; 2⌈d/g⌉ ≤ 2·optimum.
+			if c, _ := Classify(tc.d, tc.g, pi); c.Derangement {
+				if got > 2*Prop1(c) {
+					t.Fatalf("d=%d g=%d: slots %d exceed 2× Prop1 bound %d", tc.d, tc.g, got, Prop1(c))
+				}
+			}
+		}
+	}
+}
+
+func TestOptimalityRatio(t *testing.T) {
+	if got := OptimalityRatio(4, 2); got != 2.0 {
+		t.Fatalf("ratio = %v, want 2", got)
+	}
+	if got := OptimalityRatio(4, 0); got != 0 {
+		t.Fatalf("undefined ratio = %v, want 0", got)
+	}
+}
+
+func TestClassifyProperty(t *testing.T) {
+	// Block permutations are always group-mapping; with derangement σ they
+	// are group-derangements.
+	f := func(dSeed, gSeed uint8, seed int64) bool {
+		d := int(dSeed)%6 + 1
+		g := int(gSeed)%6 + 2
+		rng := rand.New(rand.NewSource(seed))
+		sigma := perms.RandomDerangement(g, rng)
+		pi, err := perms.BlockPermutation(d, g, sigma, nil)
+		if err != nil {
+			return false
+		}
+		c, err := Classify(d, g, pi)
+		if err != nil {
+			return false
+		}
+		return c.GroupMapping && c.GroupDerangement && c.Derangement
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,413 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"pops/internal/edgecolor"
+	"pops/internal/perms"
+	"pops/internal/popsnet"
+)
+
+// figure3Perm is the permutation of Figure 3 of the paper on POPS(3,3):
+// destinations (group, processor) read off the figure are
+// 15 01 27 02 00 26 13 28 14 for processors 8..0, i.e. π below. Processors
+// 4 and 5 (group 1) both target group 0, so one slot is impossible and the
+// paper routes it in two.
+var figure3Perm = []int{4, 8, 3, 6, 0, 2, 7, 1, 5}
+
+var allAlgorithms = []edgecolor.Algorithm{
+	edgecolor.RepeatedMatching, edgecolor.EulerSplitDC, edgecolor.Insertion,
+}
+
+func TestOptimalSlots(t *testing.T) {
+	cases := []struct{ d, g, want int }{
+		{1, 1, 1}, {1, 8, 1}, {2, 2, 2}, {3, 3, 2}, {2, 8, 2},
+		{8, 2, 8}, {7, 3, 6}, {6, 3, 4}, {9, 3, 6}, {5, 4, 4},
+	}
+	for _, tc := range cases {
+		if got := OptimalSlots(tc.d, tc.g); got != tc.want {
+			t.Errorf("OptimalSlots(%d,%d) = %d, want %d", tc.d, tc.g, got, tc.want)
+		}
+	}
+}
+
+func TestFigure3Example(t *testing.T) {
+	// The worked example of the paper: POPS(3,3) routes π in exactly 2 slots.
+	for _, algo := range allAlgorithms {
+		p, err := PlanRoute(3, 3, figure3Perm, Options{Algorithm: algo})
+		if err != nil {
+			t.Fatalf("%v: %v", algo, err)
+		}
+		if got := p.SlotCount(); got != 2 {
+			t.Fatalf("%v: slots = %d, want 2", algo, got)
+		}
+		tr, err := p.Verify()
+		if err != nil {
+			t.Fatalf("%v: %v", algo, err)
+		}
+		// Theorem 2 remark: with d ≤ g each processor stores exactly one
+		// packet at every step.
+		for s, m := range tr.MaxHeld {
+			if m != 1 {
+				t.Fatalf("%v: MaxHeld[%d] = %d, want 1", algo, s, m)
+			}
+		}
+	}
+}
+
+func TestFigure3FairDistributionStructure(t *testing.T) {
+	p, err := PlanRoute(3, 3, figure3Perm, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Processors 4 and 5 share destination group 0: the fair distribution
+	// must send them through different intermediate groups.
+	if p.IntermediateGroup(4) == p.IntermediateGroup(5) {
+		t.Fatal("conflicting packets assigned the same intermediate group")
+	}
+	// All packets move in round 0 for d = g.
+	for pkt := 0; pkt < 9; pkt++ {
+		if p.Round(pkt) != 0 {
+			t.Fatalf("packet %d in round %d, want 0", pkt, p.Round(pkt))
+		}
+	}
+}
+
+func TestTheorem2SlotCountSweep(t *testing.T) {
+	// The headline claim: any permutation in 1 slot (d=1) / 2⌈d/g⌉ (d>1).
+	rng := rand.New(rand.NewSource(42))
+	for _, tc := range []struct{ d, g int }{
+		{1, 1}, {1, 4}, {1, 16}, {2, 2}, {2, 4}, {4, 4}, {3, 8},
+		{8, 8}, {4, 2}, {8, 2}, {9, 3}, {7, 3}, {16, 4}, {5, 5}, {6, 2},
+	} {
+		n := tc.d * tc.g
+		for trial := 0; trial < 3; trial++ {
+			pi := perms.Random(n, rng)
+			p, err := PlanRoute(tc.d, tc.g, pi, Options{})
+			if err != nil {
+				t.Fatalf("d=%d g=%d: %v", tc.d, tc.g, err)
+			}
+			if got, want := p.SlotCount(), OptimalSlots(tc.d, tc.g); got != want {
+				t.Fatalf("d=%d g=%d: slots = %d, want %d", tc.d, tc.g, got, want)
+			}
+			if _, err := p.Verify(); err != nil {
+				t.Fatalf("d=%d g=%d: %v", tc.d, tc.g, err)
+			}
+		}
+	}
+}
+
+func TestAllAlgorithmsAgreeOnSlotCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for _, tc := range []struct{ d, g int }{{3, 5}, {5, 3}, {4, 4}} {
+		pi := perms.Random(tc.d*tc.g, rng)
+		for _, algo := range allAlgorithms {
+			p, err := PlanRoute(tc.d, tc.g, pi, Options{Algorithm: algo})
+			if err != nil {
+				t.Fatalf("%v d=%d g=%d: %v", algo, tc.d, tc.g, err)
+			}
+			if got, want := p.SlotCount(), OptimalSlots(tc.d, tc.g); got != want {
+				t.Fatalf("%v: slots = %d, want %d", algo, got, want)
+			}
+			if _, err := p.Verify(); err != nil {
+				t.Fatalf("%v: %v", algo, err)
+			}
+		}
+	}
+}
+
+func TestListSystemConstructionMatchesUnified(t *testing.T) {
+	// The paper-literal Theorem 1 route and the unified demand-graph route
+	// must both verify and use identical slot counts.
+	rng := rand.New(rand.NewSource(44))
+	for _, tc := range []struct{ d, g int }{{2, 4}, {4, 4}, {6, 3}, {3, 2}, {1, 5}} {
+		pi := perms.Random(tc.d*tc.g, rng)
+		a, err := PlanRoute(tc.d, tc.g, pi, Options{})
+		if err != nil {
+			t.Fatalf("unified d=%d g=%d: %v", tc.d, tc.g, err)
+		}
+		b, err := PlanRouteViaListSystem(tc.d, tc.g, pi, Options{})
+		if err != nil {
+			t.Fatalf("list-system d=%d g=%d: %v", tc.d, tc.g, err)
+		}
+		if a.SlotCount() != b.SlotCount() {
+			t.Fatalf("d=%d g=%d: slot counts differ: %d vs %d", tc.d, tc.g, a.SlotCount(), b.SlotCount())
+		}
+		if _, err := b.Verify(); err != nil {
+			t.Fatalf("list-system verify d=%d g=%d: %v", tc.d, tc.g, err)
+		}
+	}
+}
+
+func TestIdentityPermutationRoutes(t *testing.T) {
+	// Fixed points are routed through couplers like any other packet.
+	for _, tc := range []struct{ d, g int }{{1, 4}, {3, 3}, {4, 2}} {
+		pi := perms.Identity(tc.d * tc.g)
+		p, err := PlanRoute(tc.d, tc.g, pi, Options{})
+		if err != nil {
+			t.Fatalf("d=%d g=%d: %v", tc.d, tc.g, err)
+		}
+		if _, err := p.Verify(); err != nil {
+			t.Fatalf("d=%d g=%d: %v", tc.d, tc.g, err)
+		}
+	}
+}
+
+func TestStructuredFamiliesRoute(t *testing.T) {
+	// Vector reversal, transpose, BPC, mesh shifts — the families the
+	// related work handled one by one all fall out of Theorem 2.
+	type namedPerm struct {
+		name string
+		pi   []int
+	}
+	build := func(d, g int) []namedPerm {
+		n := d * g
+		out := []namedPerm{
+			{"reversal", perms.VectorReversal(n)},
+		}
+		if r := isqrt(n); r*r == n {
+			out = append(out, namedPerm{"transpose", perms.Transpose(r, r)})
+		}
+		if bits := log2exact(n); bits >= 1 {
+			ex, err := perms.HypercubeExchange(bits, 0)
+			if err == nil {
+				out = append(out, namedPerm{"hypercube-b0", ex.Permutation()})
+			}
+			br, err := perms.BitReversal(bits)
+			if err == nil {
+				out = append(out, namedPerm{"bit-reversal", br.Permutation()})
+			}
+		}
+		return out
+	}
+	for _, tc := range []struct{ d, g int }{{2, 2}, {4, 4}, {2, 8}, {8, 2}, {4, 16}} {
+		for _, np := range build(tc.d, tc.g) {
+			p, err := PlanRoute(tc.d, tc.g, np.pi, Options{})
+			if err != nil {
+				t.Fatalf("%s d=%d g=%d: %v", np.name, tc.d, tc.g, err)
+			}
+			if got, want := p.SlotCount(), OptimalSlots(tc.d, tc.g); got != want {
+				t.Fatalf("%s d=%d g=%d: slots = %d, want %d", np.name, tc.d, tc.g, got, want)
+			}
+			if _, err := p.Verify(); err != nil {
+				t.Fatalf("%s d=%d g=%d: %v", np.name, tc.d, tc.g, err)
+			}
+		}
+	}
+}
+
+func TestGroupRotationAdversarial(t *testing.T) {
+	// Whole groups map to single groups: the worst case for direct routing
+	// still takes exactly 2⌈d/g⌉ with Theorem 2.
+	for _, tc := range []struct{ d, g int }{{4, 4}, {8, 2}, {6, 3}} {
+		pi, err := perms.GroupRotation(tc.d, tc.g, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := PlanRoute(tc.d, tc.g, pi, Options{})
+		if err != nil {
+			t.Fatalf("d=%d g=%d: %v", tc.d, tc.g, err)
+		}
+		if got, want := p.SlotCount(), OptimalSlots(tc.d, tc.g); got != want {
+			t.Fatalf("d=%d g=%d: slots = %d, want %d", tc.d, tc.g, got, want)
+		}
+		if _, err := p.Verify(); err != nil {
+			t.Fatalf("d=%d g=%d: %v", tc.d, tc.g, err)
+		}
+	}
+}
+
+func TestMaxHeldOneWhenDLeqG(t *testing.T) {
+	// Theorem 2's remark: for d ≤ g every processor stores exactly one
+	// packet at each step of the two-slot routing.
+	rng := rand.New(rand.NewSource(45))
+	for _, tc := range []struct{ d, g int }{{2, 2}, {3, 4}, {4, 8}, {8, 8}} {
+		pi := perms.Random(tc.d*tc.g, rng)
+		p, err := PlanRoute(tc.d, tc.g, pi, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := p.Verify()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for s, m := range tr.MaxHeld {
+			if m != 1 {
+				t.Fatalf("d=%d g=%d: MaxHeld[%d] = %d, want 1", tc.d, tc.g, s, m)
+			}
+		}
+	}
+}
+
+func TestPlanValidation(t *testing.T) {
+	if _, err := PlanRoute(0, 3, nil, Options{}); err == nil {
+		t.Fatal("d=0 accepted")
+	}
+	if _, err := PlanRoute(2, 2, []int{0, 1, 2}, Options{}); err == nil {
+		t.Fatal("short permutation accepted")
+	}
+	if _, err := PlanRoute(2, 2, []int{0, 1, 2, 2}, Options{}); err == nil {
+		t.Fatal("non-permutation accepted")
+	}
+	if _, err := PlanRoute(2, 2, []int{0, 1, 2, 9}, Options{}); err == nil {
+		t.Fatal("out-of-range value accepted")
+	}
+	if _, err := PlanRouteViaListSystem(0, 3, nil, Options{}); err == nil {
+		t.Fatal("list-system d=0 accepted")
+	}
+	if _, err := PlanRouteViaListSystem(2, 2, []int{0, 0, 1, 1}, Options{}); err == nil {
+		t.Fatal("list-system non-permutation accepted")
+	}
+}
+
+func TestCheckFairInvariantsRejectsBadColors(t *testing.T) {
+	// Hand the schedule builder corrupted colorings and check each equation
+	// fires. POPS(2,2), π = reversal: packets 0,1 (group 0) → group 1;
+	// packets 2,3 (group 1) → group 0.
+	pi := perms.VectorReversal(4)
+	nw := mustNet(t, 2, 2)
+
+	// eq (4): source group repeats a color.
+	if _, err := planFromColors(nw, pi, []int{0, 0, 1, 1}); err == nil ||
+		!strings.Contains(err.Error(), "(4)") {
+		t.Fatalf("eq4: err = %v", err)
+	}
+	// eq (6): destination group repeats a color. Need distinct per source.
+	// pi groups: packets 0,1 → dest group 1; 2,3 → dest 0. Colors 0,1 for
+	// packets 0,1 keeps eq4; packets 2,3 get 0,1 — dest groups differ from
+	// packets 0,1 so eq6 holds; force eq6 violation with a non-permutation
+	// style coloring is impossible while class sizes hold, so use a
+	// permutation with mixed destinations.
+	pi2 := []int{3, 1, 2, 0} // packet 0→g1, 1→g0, 2→g1, 3→g0
+	if _, err := planFromColors(nw, pi2, []int{0, 1, 0, 1}); err == nil ||
+		!strings.Contains(err.Error(), "(6)") {
+		t.Fatalf("eq6: err = %v", err)
+	}
+	// eq (5)/(7): class sizes wrong (color 0 used 3 times).
+	if _, err := planFromColors(nw, pi, []int{0, 1, 0, 0}); err == nil {
+		t.Fatal("bad class size accepted")
+	}
+	// Color out of range.
+	if _, err := planFromColors(nw, pi, []int{0, 1, 2, 7}); err == nil {
+		t.Fatal("out-of-range color accepted")
+	}
+	// Wrong length.
+	if _, err := planFromColors(nw, pi, []int{0, 1}); err == nil {
+		t.Fatal("short colors accepted")
+	}
+}
+
+func TestPlanRoutePropertyRandom(t *testing.T) {
+	f := func(dSeed, gSeed uint8, seed int64) bool {
+		d := int(dSeed)%10 + 1
+		g := int(gSeed)%10 + 1
+		rng := rand.New(rand.NewSource(seed))
+		pi := perms.Random(d*g, rng)
+		p, err := PlanRoute(d, g, pi, Options{})
+		if err != nil {
+			return false
+		}
+		if p.SlotCount() != OptimalSlots(d, g) {
+			return false
+		}
+		_, err = p.Verify()
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlanRoutePropertyDerangements(t *testing.T) {
+	f := func(dSeed, gSeed uint8, seed int64) bool {
+		d := int(dSeed)%8 + 1
+		g := int(gSeed)%8 + 1
+		if d*g < 2 {
+			return true
+		}
+		rng := rand.New(rand.NewSource(seed))
+		pi := perms.RandomDerangement(d*g, rng)
+		p, err := PlanRoute(d, g, pi, Options{})
+		if err != nil {
+			return false
+		}
+		_, err = p.Verify()
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundAndIntermediateGroupLargeD(t *testing.T) {
+	rng := rand.New(rand.NewSource(46))
+	d, g := 7, 3
+	pi := perms.Random(d*g, rng)
+	p, err := PlanRoute(d, g, pi, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Rounds != 3 {
+		t.Fatalf("rounds = %d, want 3", p.Rounds)
+	}
+	counts := make(map[int]int)
+	for pkt := 0; pkt < d*g; pkt++ {
+		r := p.Round(pkt)
+		if r < 0 || r >= p.Rounds {
+			t.Fatalf("packet %d round %d out of range", pkt, r)
+		}
+		j := p.IntermediateGroup(pkt)
+		if j < 0 || j >= g {
+			t.Fatalf("packet %d intermediate group %d out of range", pkt, j)
+		}
+		counts[r]++
+	}
+	// Rounds 0 and 1 carry g² = 9 packets, the last carries g·(d mod g) = 3.
+	if counts[0] != 9 || counts[1] != 9 || counts[2] != 3 {
+		t.Fatalf("round loads = %v, want 9/9/3", counts)
+	}
+}
+
+func TestDirectPlanAccessors(t *testing.T) {
+	p, err := PlanRoute(1, 4, perms.VectorReversal(4), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.IntermediateGroup(0) != -1 || p.Round(0) != 0 {
+		t.Fatal("direct plan accessors should report no relay")
+	}
+	if p.SlotCount() != 1 {
+		t.Fatalf("slots = %d, want 1", p.SlotCount())
+	}
+}
+
+func mustNet(t *testing.T, d, g int) popsnet.Network {
+	t.Helper()
+	nw, err := popsnet.NewNetwork(d, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nw
+}
+
+func isqrt(n int) int {
+	r := 0
+	for (r+1)*(r+1) <= n {
+		r++
+	}
+	return r
+}
+
+func log2exact(n int) int {
+	b := 0
+	for 1<<uint(b+1) <= n {
+		b++
+	}
+	if 1<<uint(b) != n {
+		return -1
+	}
+	return b
+}

@@ -1,0 +1,225 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"pops/internal/perms"
+	"pops/internal/popsnet"
+)
+
+// TestScheduleStructureSmallD checks the exact slot shape for d ≤ g: both
+// slots move all n packets, with n distinct couplers and n distinct
+// receivers each.
+func TestScheduleStructureSmallD(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	for _, tc := range []struct{ d, g int }{{2, 2}, {3, 4}, {4, 8}, {8, 8}} {
+		n := tc.d * tc.g
+		pi := perms.Random(n, rng)
+		p, err := PlanRoute(tc.d, tc.g, pi, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sched := p.Schedule()
+		if len(sched.Slots) != 2 {
+			t.Fatalf("d=%d g=%d: %d slots", tc.d, tc.g, len(sched.Slots))
+		}
+		for si, slot := range sched.Slots {
+			if len(slot.Sends) != n || len(slot.Recvs) != n {
+				t.Fatalf("d=%d g=%d slot %d: %d sends, %d recvs, want %d each",
+					tc.d, tc.g, si, len(slot.Sends), len(slot.Recvs), n)
+			}
+			couplers := make(map[int]bool)
+			senders := make(map[int]bool)
+			for _, snd := range slot.Sends {
+				cid := sched.Net.CouplerID(snd.DestGroup, sched.Net.Group(snd.Src))
+				if couplers[cid] {
+					t.Fatalf("slot %d: coupler %d reused", si, cid)
+				}
+				couplers[cid] = true
+				if senders[snd.Src] {
+					t.Fatalf("slot %d: sender %d reused", si, snd.Src)
+				}
+				senders[snd.Src] = true
+			}
+			recvs := make(map[int]bool)
+			for _, rcv := range slot.Recvs {
+				if recvs[rcv.Proc] {
+					t.Fatalf("slot %d: receiver %d reused", si, rcv.Proc)
+				}
+				recvs[rcv.Proc] = true
+			}
+		}
+	}
+}
+
+// TestScheduleStructureLargeD checks the round structure for d > g: each of
+// the ⌈d/g⌉ rounds has two slots moving g² packets (the last round
+// g·(d mod g) when g ∤ d), with full coupler utilization in complete rounds.
+func TestScheduleStructureLargeD(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	for _, tc := range []struct{ d, g int }{{4, 2}, {9, 3}, {7, 3}, {16, 4}} {
+		n := tc.d * tc.g
+		pi := perms.Random(n, rng)
+		p, err := PlanRoute(tc.d, tc.g, pi, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sched := p.Schedule()
+		rounds := (tc.d + tc.g - 1) / tc.g
+		if len(sched.Slots) != 2*rounds {
+			t.Fatalf("d=%d g=%d: %d slots, want %d", tc.d, tc.g, len(sched.Slots), 2*rounds)
+		}
+		total := 0
+		for k := 0; k < rounds; k++ {
+			want := tc.g * tc.g
+			if k == rounds-1 && tc.d%tc.g != 0 {
+				want = tc.g * (tc.d % tc.g)
+			}
+			s1, s2 := sched.Slots[2*k], sched.Slots[2*k+1]
+			if len(s1.Sends) != want || len(s2.Sends) != want {
+				t.Fatalf("d=%d g=%d round %d: %d/%d sends, want %d",
+					tc.d, tc.g, k, len(s1.Sends), len(s2.Sends), want)
+			}
+			total += len(s1.Sends)
+		}
+		if total != n {
+			t.Fatalf("d=%d g=%d: rounds move %d packets, want %d", tc.d, tc.g, total, n)
+		}
+		// Complete rounds use every coupler exactly once per slot.
+		st := popsnet.ComputeStats(sched)
+		if rounds > 1 && tc.d%tc.g == 0 && st.Utilization != 1.0 {
+			t.Fatalf("d=%d g=%d: utilization %v, want 1.0", tc.d, tc.g, st.Utilization)
+		}
+	}
+}
+
+// TestCorruptedSchedulesRejected injects faults into valid schedules and
+// checks that the simulator oracle catches each one — the failure-injection
+// counterpart of Plan.Verify.
+func TestCorruptedSchedulesRejected(t *testing.T) {
+	rng := rand.New(rand.NewSource(93))
+	pi := perms.Random(16, rng)
+	fresh := func() *popsnet.Schedule {
+		p, err := PlanRoute(4, 4, pi, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p.Schedule()
+	}
+
+	t.Run("duplicate-send-conflicts-coupler", func(t *testing.T) {
+		s := fresh()
+		s.Slots[0].Sends = append(s.Slots[0].Sends, s.Slots[0].Sends[0])
+		// Same coupler driven twice (same src, same dest group).
+		if _, err := popsnet.VerifyPermutationRouted(s, pi); err == nil {
+			t.Fatal("duplicate send accepted")
+		}
+	})
+	t.Run("dropped-send-leaves-empty-coupler", func(t *testing.T) {
+		s := fresh()
+		s.Slots[0].Sends = s.Slots[0].Sends[1:]
+		if _, err := popsnet.VerifyPermutationRouted(s, pi); err == nil {
+			t.Fatal("dropped send accepted")
+		}
+	})
+	t.Run("dropped-recv-loses-packet", func(t *testing.T) {
+		s := fresh()
+		s.Slots[1].Recvs = s.Slots[1].Recvs[1:]
+		if _, err := popsnet.VerifyPermutationRouted(s, pi); err == nil {
+			t.Fatal("dropped receive accepted")
+		}
+	})
+	t.Run("redirected-recv-misdelivers", func(t *testing.T) {
+		s := fresh()
+		// Swap the processors of two receivers in the SAME destination
+		// group. Each now reads the other's coupler: both reads succeed
+		// (no conflict), but the packets land at the wrong processors —
+		// only the final delivery check can catch it. Swapping receivers
+		// of different groups would be a no-op: the coupler a receiver
+		// reads is derived from its own group.
+		r := s.Slots[1].Recvs
+		i, j := -1, -1
+		for a := 0; a < len(r) && i < 0; a++ {
+			for b := a + 1; b < len(r); b++ {
+				if s.Net.Group(r[a].Proc) == s.Net.Group(r[b].Proc) {
+					i, j = a, b
+					break
+				}
+			}
+		}
+		if i < 0 {
+			t.Fatal("no same-group receiver pair found")
+		}
+		r[i].Proc, r[j].Proc = r[j].Proc, r[i].Proc
+		if _, err := popsnet.VerifyPermutationRouted(s, pi); err == nil {
+			t.Fatal("misdelivery accepted")
+		}
+	})
+	t.Run("truncated-schedule", func(t *testing.T) {
+		s := fresh()
+		s.Slots = s.Slots[:1]
+		if _, err := popsnet.VerifyPermutationRouted(s, pi); err == nil {
+			t.Fatal("truncated schedule accepted")
+		}
+	})
+	t.Run("wrong-packet-in-send", func(t *testing.T) {
+		s := fresh()
+		s.Slots[0].Sends[0].Packet = 99
+		if _, err := popsnet.VerifyPermutationRouted(s, pi); err == nil {
+			t.Fatal("phantom packet accepted")
+		}
+	})
+}
+
+// TestPlanDeterministic: same inputs, same schedule, across two runs.
+func TestPlanDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(94))
+	pi := perms.Random(36, rng)
+	a, err := PlanRoute(6, 6, pi, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PlanRoute(6, 6, pi, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, sb := a.Schedule(), b.Schedule()
+	if len(sa.Slots) != len(sb.Slots) {
+		t.Fatal("slot counts differ between identical runs")
+	}
+	for i := range sa.Slots {
+		if len(sa.Slots[i].Sends) != len(sb.Slots[i].Sends) {
+			t.Fatalf("slot %d send counts differ", i)
+		}
+		for j := range sa.Slots[i].Sends {
+			if sa.Slots[i].Sends[j] != sb.Slots[i].Sends[j] {
+				t.Fatalf("slot %d send %d differs: %+v vs %+v",
+					i, j, sa.Slots[i].Sends[j], sb.Slots[i].Sends[j])
+			}
+		}
+	}
+	for p := range a.Colors {
+		if a.Colors[p] != b.Colors[p] {
+			t.Fatalf("colors differ at packet %d", p)
+		}
+	}
+}
+
+// TestFullCouplerUtilizationSquare checks the paper's throughput intuition:
+// with d = g the two-slot schedule uses every one of the g² couplers in both
+// slots (n = g² packets, one per coupler).
+func TestFullCouplerUtilizationSquare(t *testing.T) {
+	rng := rand.New(rand.NewSource(95))
+	for _, g := range []int{2, 4, 8} {
+		pi := perms.Random(g*g, rng)
+		p, err := PlanRoute(g, g, pi, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := popsnet.ComputeStats(p.Schedule())
+		if st.Utilization != 1.0 {
+			t.Fatalf("g=%d: utilization %v, want 1.0", g, st.Utilization)
+		}
+	}
+}

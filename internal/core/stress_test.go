@@ -1,0 +1,108 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"pops/internal/perms"
+	"pops/internal/popsnet"
+)
+
+// Large-shape stress tests: plan, verify, and check structural invariants on
+// networks up to a few thousand processors. Skipped under -short.
+
+func TestStressLargeShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	rng := rand.New(rand.NewSource(1234))
+	for _, tc := range []struct{ d, g int }{
+		{64, 64},  // n = 4096, square
+		{16, 128}, // n = 2048, d << g (padding path)
+		{128, 16}, // n = 2048, d >> g (multi-round path)
+		{1, 2048}, // n = 2048, direct path
+		{63, 17},  // awkward non-dividing shape
+	} {
+		n := tc.d * tc.g
+		pi := perms.Random(n, rng)
+		p, err := PlanRoute(tc.d, tc.g, pi, Options{})
+		if err != nil {
+			t.Fatalf("d=%d g=%d: %v", tc.d, tc.g, err)
+		}
+		if got, want := p.SlotCount(), OptimalSlots(tc.d, tc.g); got != want {
+			t.Fatalf("d=%d g=%d: slots = %d, want %d", tc.d, tc.g, got, want)
+		}
+		if _, err := p.Verify(); err != nil {
+			t.Fatalf("d=%d g=%d: %v", tc.d, tc.g, err)
+		}
+	}
+}
+
+func TestStressAllBackendsMediumShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	rng := rand.New(rand.NewSource(4321))
+	for _, algo := range allAlgorithms {
+		for _, tc := range []struct{ d, g int }{{32, 32}, {8, 64}, {64, 8}} {
+			pi := perms.Random(tc.d*tc.g, rng)
+			p, err := PlanRoute(tc.d, tc.g, pi, Options{Algorithm: algo})
+			if err != nil {
+				t.Fatalf("%v d=%d g=%d: %v", algo, tc.d, tc.g, err)
+			}
+			if _, err := p.Verify(); err != nil {
+				t.Fatalf("%v d=%d g=%d: %v", algo, tc.d, tc.g, err)
+			}
+		}
+	}
+}
+
+func TestStressWorstCasePermutations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	// Structured worst cases at scale: reversal and group rotation.
+	for _, tc := range []struct{ d, g int }{{64, 16}, {16, 64}, {48, 48}} {
+		n := tc.d * tc.g
+		rev := perms.VectorReversal(n)
+		p, err := PlanRoute(tc.d, tc.g, rev, Options{})
+		if err != nil {
+			t.Fatalf("reversal d=%d g=%d: %v", tc.d, tc.g, err)
+		}
+		if _, err := p.Verify(); err != nil {
+			t.Fatalf("reversal d=%d g=%d: %v", tc.d, tc.g, err)
+		}
+		rot, err := perms.GroupRotation(tc.d, tc.g, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err = PlanRoute(tc.d, tc.g, rot, Options{})
+		if err != nil {
+			t.Fatalf("rotation d=%d g=%d: %v", tc.d, tc.g, err)
+		}
+		if _, err := p.Verify(); err != nil {
+			t.Fatalf("rotation d=%d g=%d: %v", tc.d, tc.g, err)
+		}
+	}
+}
+
+func TestStressFullUtilizationAtScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	// d = g at scale: every coupler busy in every slot.
+	g := 48
+	rng := rand.New(rand.NewSource(99))
+	pi := perms.Random(g*g, rng)
+	p, err := PlanRoute(g, g, pi, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := popsnet.ComputeStats(p.Schedule())
+	if st.Utilization != 1.0 {
+		t.Fatalf("utilization = %v, want 1.0", st.Utilization)
+	}
+	if st.Sends != 2*g*g || st.Recvs != 2*g*g {
+		t.Fatalf("sends/recvs = %d/%d, want %d each", st.Sends, st.Recvs, 2*g*g)
+	}
+}

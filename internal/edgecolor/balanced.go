@@ -1,0 +1,101 @@
+package edgecolor
+
+import (
+	"fmt"
+
+	"pops/internal/graph"
+)
+
+// Balanced computes the coloring at the heart of Theorem 1 of Mei & Rizzi:
+// given a k-regular bipartite multigraph b with n nodes per side and a color
+// count C with k ≤ C and C | n·k, it returns a proper edge coloring with C
+// colors in which every color class has size exactly Δ2 = n·k/C.
+//
+// Construction (the paper's proof, Section 3.1): add |V| = n − Δ2 new nodes
+// on each side. New left nodes are joined to every original right node and
+// new right nodes to every original left node by round-robin biregular
+// padding graphs H2 and H1 in which new nodes have degree C and original
+// nodes gain degree C − k. The padded graph is C-regular on (2n − Δ2)-node
+// sides; König's theorem decomposes it into C perfect matchings; each
+// matching uses 2·(n − Δ2) padding edges, so it contains exactly Δ2 real
+// edges — the required balanced classes.
+//
+// The returned slice maps edge ID of b to its color in [0, C).
+func Balanced(b *graph.Bipartite, colorCount int, algo Algorithm) ([]int, error) {
+	n := b.NLeft()
+	if n != b.NRight() {
+		return nil, fmt.Errorf("edgecolor: Balanced needs equal sides, got %d and %d", n, b.NRight())
+	}
+	k, ok := b.RegularDegree()
+	if !ok {
+		return nil, graph.ErrNotBipartiteRegular
+	}
+	if colorCount < k {
+		return nil, fmt.Errorf("edgecolor: %d colors cannot properly color a %d-regular graph", colorCount, k)
+	}
+	if colorCount == 0 {
+		return []int{}, nil
+	}
+	if (n*k)%colorCount != 0 {
+		return nil, fmt.Errorf("edgecolor: %d colors do not divide %d edges evenly", colorCount, n*k)
+	}
+	classSize := n * k / colorCount
+	pad := n - classSize // |V| = |V'|
+	if pad < 0 {
+		return nil, fmt.Errorf("edgecolor: class size %d exceeds side size %d", classSize, n)
+	}
+
+	if pad == 0 {
+		// C == k: a plain 1-factorization already has classes of size n.
+		classes, err := Factorize(b, algo)
+		if err != nil {
+			return nil, err
+		}
+		return ClassesToColors(b.NumEdges(), classes), nil
+	}
+
+	// Build the padded graph. Real edges first so their IDs are preserved.
+	side := n + pad
+	p := graph.New(side, side)
+	for id := 0; id < b.NumEdges(); id++ {
+		e := b.Edge(id)
+		p.AddEdge(e.L, e.R)
+	}
+	// H1: new left nodes (degree C) vs original right nodes (degree C-k).
+	// Round-robin keeps both degree constraints exact; parallel edges are
+	// fine in a multigraph (they arise whenever C > n).
+	h1 := pad * colorCount // == n*(colorCount-k)
+	for c := 0; c < h1; c++ {
+		p.AddEdge(n+c/colorCount, c%n)
+	}
+	// H2: original left nodes (degree C-k) vs new right nodes (degree C).
+	for c := 0; c < h1; c++ {
+		p.AddEdge(c%n, n+c/colorCount)
+	}
+	if !p.IsRegular(colorCount) {
+		return nil, fmt.Errorf("edgecolor: internal error: padded graph is not %d-regular", colorCount)
+	}
+
+	classes, err := Factorize(p, algo)
+	if err != nil {
+		return nil, fmt.Errorf("edgecolor: factorizing padded graph: %w", err)
+	}
+	colors := make([]int, b.NumEdges())
+	for i := range colors {
+		colors[i] = -1
+	}
+	for c, class := range classes {
+		real := 0
+		for _, id := range class {
+			if id < b.NumEdges() {
+				colors[id] = c
+				real++
+			}
+		}
+		if real != classSize {
+			return nil, fmt.Errorf("edgecolor: internal error: class %d has %d real edges, want %d",
+				c, real, classSize)
+		}
+	}
+	return colors, nil
+}

@@ -1,0 +1,43 @@
+package fairdist
+
+import "fmt"
+
+// FromPermutation builds the list system that Theorem 2 derives from a
+// permutation routing instance on POPS(d, g): sources are the g groups,
+// targets number max(d, g), and L(h, i) = group(π(i + h·d)) — the
+// destination group of the i-th packet of group h.
+//
+// For 1 < d ≤ g this is the paper's (N_g, N_g, L); for d > g it is
+// (N_g, N_d, L). Both are proper because π is a permutation: every group is
+// the destination of exactly d packets, so every element of S occurs exactly
+// Δ1 = d times, and n2 divides n1·Δ1 = g·d in both cases.
+func FromPermutation(d, g int, pi []int) (*ListSystem, error) {
+	if d < 1 || g < 1 {
+		return nil, fmt.Errorf("fairdist: invalid POPS shape d=%d g=%d", d, g)
+	}
+	n := d * g
+	if len(pi) != n {
+		return nil, fmt.Errorf("fairdist: permutation length %d, want %d", len(pi), n)
+	}
+	targets := g
+	if d > g {
+		targets = d
+	}
+	ls := &ListSystem{
+		NSources: g,
+		NTargets: targets,
+		Lists:    make([][]int, g),
+	}
+	for h := 0; h < g; h++ {
+		row := make([]int, d)
+		for i := 0; i < d; i++ {
+			dest := pi[i+h*d]
+			if dest < 0 || dest >= n {
+				return nil, fmt.Errorf("fairdist: π(%d) = %d outside [0,%d)", i+h*d, dest, n)
+			}
+			row[i] = dest / d
+		}
+		ls.Lists[h] = row
+	}
+	return ls, nil
+}

@@ -1,0 +1,138 @@
+package greedy
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pops/internal/core"
+	"pops/internal/perms"
+	"pops/internal/popsnet"
+)
+
+func TestMaxPairMultiplicity(t *testing.T) {
+	// Group rotation: all d packets of a group share one pair.
+	pi, err := perms.GroupRotation(4, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := MaxPairMultiplicity(4, 2, pi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != 4 {
+		t.Fatalf("µmax = %d, want 4", m)
+	}
+	// d = 1: every pair is distinct.
+	m, err = MaxPairMultiplicity(1, 4, perms.VectorReversal(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != 1 {
+		t.Fatalf("µmax = %d, want 1", m)
+	}
+	if _, err := MaxPairMultiplicity(0, 2, nil); err == nil {
+		t.Fatal("bad shape accepted")
+	}
+	if _, err := MaxPairMultiplicity(2, 2, []int{0, 0, 1, 1}); err == nil {
+		t.Fatal("non-permutation accepted")
+	}
+}
+
+func TestDirectOptimalDelivers(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for _, tc := range []struct{ d, g int }{{1, 6}, {2, 2}, {4, 4}, {8, 2}, {3, 5}} {
+		pi := perms.Random(tc.d*tc.g, rng)
+		res, err := DirectOptimal(tc.d, tc.g, pi)
+		if err != nil {
+			t.Fatalf("d=%d g=%d: %v", tc.d, tc.g, err)
+		}
+		if _, err := popsnet.VerifyPermutationRouted(res.Schedule, pi); err != nil {
+			t.Fatalf("d=%d g=%d: %v", tc.d, tc.g, err)
+		}
+		mu, err := MaxPairMultiplicity(tc.d, tc.g, pi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Slots != mu {
+			t.Fatalf("d=%d g=%d: slots = %d, want µmax = %d", tc.d, tc.g, res.Slots, mu)
+		}
+	}
+}
+
+func TestDirectOptimalTransposeMeetsSahniBound(t *testing.T) {
+	// Sahni 2000a: transpose routes in ⌈d/g⌉ slots, half of the general
+	// 2⌈d/g⌉. DirectOptimal recovers it because transpose demand has
+	// µmax = ⌈d/g⌉.
+	for _, tc := range []struct{ m, d, g int }{
+		{4, 4, 4},  // d = g: one slot
+		{4, 8, 2},  // d > g: 4 slots = d/g
+		{4, 2, 8},  // d < g: 1 slot = ⌈d/g⌉
+		{8, 16, 4}, // 4 slots
+		{8, 8, 8},  // 1 slot
+	} {
+		pi := perms.Transpose(tc.m, tc.m)
+		res, err := DirectOptimal(tc.d, tc.g, pi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := (tc.d + tc.g - 1) / tc.g
+		if res.Slots != want {
+			t.Fatalf("m=%d d=%d g=%d: transpose slots = %d, want ⌈d/g⌉ = %d",
+				tc.m, tc.d, tc.g, res.Slots, want)
+		}
+		if _, err := popsnet.VerifyPermutationRouted(res.Schedule, pi); err != nil {
+			t.Fatal(err)
+		}
+		// Half of the universal bound whenever d > g.
+		if general := core.OptimalSlots(tc.d, tc.g); res.Slots*2 != general && tc.d > 1 {
+			t.Fatalf("m=%d d=%d g=%d: specialized %d vs general %d, want exactly half",
+				tc.m, tc.d, tc.g, res.Slots, general)
+		}
+	}
+}
+
+func TestDirectOptimalNeverBeatenByGreedy(t *testing.T) {
+	// DirectOptimal is optimal among direct routers, so greedy (also direct)
+	// can never use fewer slots.
+	f := func(dSeed, gSeed uint8, seed int64) bool {
+		d := int(dSeed)%6 + 1
+		g := int(gSeed)%6 + 1
+		pi := perms.Random(d*g, rand.New(rand.NewSource(seed)))
+		opt, err := DirectOptimal(d, g, pi)
+		if err != nil {
+			return false
+		}
+		gr, err := Route(d, g, pi)
+		if err != nil {
+			return false
+		}
+		if gr.Slots < opt.Slots {
+			return false
+		}
+		_, err = popsnet.VerifyPermutationRouted(opt.Schedule, pi)
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDirectOptimalAdversarialStillD(t *testing.T) {
+	// Group rotation is the instance where NO direct router helps: µmax = d,
+	// while Theorem 2's relay routing needs only 2⌈d/g⌉.
+	pi, err := perms.GroupRotation(16, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := DirectOptimal(16, 4, pi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Slots != 16 {
+		t.Fatalf("direct-optimal slots = %d, want 16", res.Slots)
+	}
+	if relay := core.OptimalSlots(16, 4); relay >= res.Slots {
+		t.Fatalf("relay routing (%d) should beat direct optimum (%d)", relay, res.Slots)
+	}
+}

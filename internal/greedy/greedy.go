@@ -1,0 +1,70 @@
+// Package greedy is the direct-routing baseline: packets travel straight
+// from source to destination (no relays), and each slot greedily packs a
+// maximal conflict-free subset of the remaining packets. Without the
+// two-phase fair-distribution idea of Theorem 2, adversarial permutations —
+// all d packets of a group targeting one group — serialize on a single
+// coupler and need d slots instead of 2⌈d/g⌉.
+//
+// Greedy always terminates: the lowest-numbered undelivered packet is always
+// schedulable, so every slot delivers at least one packet.
+package greedy
+
+import (
+	"fmt"
+
+	"pops/internal/perms"
+	"pops/internal/popsnet"
+)
+
+// Result is a greedy routing outcome.
+type Result struct {
+	Schedule *popsnet.Schedule
+	// Slots is the number of slots used (len(Schedule.Slots)).
+	Slots int
+}
+
+// Route computes the greedy direct schedule for pi on POPS(d, g).
+func Route(d, g int, pi []int) (*Result, error) {
+	nw, err := popsnet.NewNetwork(d, g)
+	if err != nil {
+		return nil, err
+	}
+	if len(pi) != nw.N() {
+		return nil, fmt.Errorf("greedy: permutation length %d, want %d", len(pi), nw.N())
+	}
+	if err := perms.Validate(pi); err != nil {
+		return nil, fmt.Errorf("greedy: %w", err)
+	}
+
+	n := nw.N()
+	delivered := make([]bool, n)
+	remaining := n
+	sched := &popsnet.Schedule{Net: nw}
+	for remaining > 0 {
+		slot := popsnet.Slot{}
+		couplerBusy := make(map[int]bool)
+		recvBusy := make(map[int]bool)
+		for p := 0; p < n; p++ {
+			if delivered[p] {
+				continue
+			}
+			dest := pi[p]
+			cid := nw.CouplerID(nw.Group(dest), nw.Group(p))
+			if couplerBusy[cid] || recvBusy[dest] {
+				continue
+			}
+			couplerBusy[cid] = true
+			recvBusy[dest] = true
+			slot.Sends = append(slot.Sends, popsnet.Send{Src: p, DestGroup: nw.Group(dest), Packet: p})
+			slot.Recvs = append(slot.Recvs, popsnet.Recv{Proc: dest, SrcGroup: nw.Group(p)})
+			delivered[p] = true
+			remaining--
+		}
+		if len(slot.Sends) == 0 {
+			// Unreachable: the first undelivered packet always fits.
+			return nil, fmt.Errorf("greedy: internal error: empty slot with %d packets left", remaining)
+		}
+		sched.Slots = append(sched.Slots, slot)
+	}
+	return &Result{Schedule: sched, Slots: len(sched.Slots)}, nil
+}

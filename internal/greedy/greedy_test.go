@@ -1,0 +1,114 @@
+package greedy
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pops/internal/core"
+	"pops/internal/perms"
+	"pops/internal/popsnet"
+)
+
+func TestRouteValidation(t *testing.T) {
+	if _, err := Route(0, 2, nil); err == nil {
+		t.Fatal("d=0 accepted")
+	}
+	if _, err := Route(2, 2, []int{0}); err == nil {
+		t.Fatal("short permutation accepted")
+	}
+	if _, err := Route(2, 2, []int{0, 0, 1, 1}); err == nil {
+		t.Fatal("non-permutation accepted")
+	}
+}
+
+func TestGreedyDeliversRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	for _, tc := range []struct{ d, g int }{{1, 4}, {2, 2}, {4, 4}, {8, 2}, {3, 5}} {
+		pi := perms.Random(tc.d*tc.g, rng)
+		res, err := Route(tc.d, tc.g, pi)
+		if err != nil {
+			t.Fatalf("d=%d g=%d: %v", tc.d, tc.g, err)
+		}
+		if _, err := popsnet.VerifyPermutationRouted(res.Schedule, pi); err != nil {
+			t.Fatalf("d=%d g=%d: %v", tc.d, tc.g, err)
+		}
+	}
+}
+
+func TestGreedyAdversarialNeedsDSlots(t *testing.T) {
+	// Group rotation: all d packets of each group fight for one coupler.
+	// Greedy (direct) needs exactly d slots; Theorem 2 needs 2⌈d/g⌉.
+	for _, tc := range []struct{ d, g int }{{4, 4}, {8, 2}, {16, 4}, {6, 3}} {
+		pi, err := perms.GroupRotation(tc.d, tc.g, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Route(tc.d, tc.g, pi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Slots != tc.d {
+			t.Fatalf("d=%d g=%d: greedy slots = %d, want %d", tc.d, tc.g, res.Slots, tc.d)
+		}
+		if opt := core.OptimalSlots(tc.d, tc.g); tc.d > opt && res.Slots <= opt {
+			t.Fatalf("d=%d g=%d: adversarial instance did not separate greedy from Theorem 2", tc.d, tc.g)
+		}
+		if _, err := popsnet.VerifyPermutationRouted(res.Schedule, pi); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestGreedyOneSlotWhenRoutable(t *testing.T) {
+	// A permutation with all distinct group pairs routes greedily in 1 slot.
+	rng := rand.New(rand.NewSource(56))
+	pi := perms.Random(6, rng) // d=1, g=6: always one slot
+	res, err := Route(1, 6, pi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Slots != 1 {
+		t.Fatalf("slots = %d, want 1", res.Slots)
+	}
+}
+
+func TestGreedyIdentity(t *testing.T) {
+	// Identity on POPS(d,g): all d packets of group h use coupler c(h,h);
+	// greedy needs d slots even though zero communication is semantically
+	// needed — greedy always physically moves packets.
+	res, err := Route(3, 2, perms.Identity(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Slots != 3 {
+		t.Fatalf("slots = %d, want 3", res.Slots)
+	}
+	if _, err := popsnet.VerifyPermutationRouted(res.Schedule, perms.Identity(6)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGreedyNeverBeatsCouplerCapacity(t *testing.T) {
+	// Sanity: greedy can move at most g² packets per slot, so it uses at
+	// least ⌈n/g²⌉ slots; and it is never worse than n slots.
+	f := func(dSeed, gSeed uint8, seed int64) bool {
+		d := int(dSeed)%6 + 1
+		g := int(gSeed)%6 + 1
+		n := d * g
+		pi := perms.Random(n, rand.New(rand.NewSource(seed)))
+		res, err := Route(d, g, pi)
+		if err != nil {
+			return false
+		}
+		min := (n + g*g - 1) / (g * g)
+		if res.Slots < min || res.Slots > n {
+			return false
+		}
+		_, err = popsnet.VerifyPermutationRouted(res.Schedule, pi)
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,228 @@
+package hrelation
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pops/internal/core"
+	"pops/internal/perms"
+)
+
+func TestDegree(t *testing.T) {
+	reqs := []Request{{0, 1}, {0, 2}, {1, 2}, {3, 0}}
+	h, err := Degree(4, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h != 2 { // proc 0 sends twice, proc 2 receives twice
+		t.Fatalf("h = %d, want 2", h)
+	}
+	if _, err := Degree(4, []Request{{0, 9}}); err == nil {
+		t.Fatal("out-of-range request accepted")
+	}
+	if _, err := Degree(4, []Request{{-1, 0}}); err == nil {
+		t.Fatal("negative source accepted")
+	}
+	h, err = Degree(4, nil)
+	if err != nil || h != 0 {
+		t.Fatalf("empty relation: h=%d err=%v", h, err)
+	}
+}
+
+func TestRouteEmptyRelation(t *testing.T) {
+	p, err := Route(2, 2, nil, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.SlotCount() != 0 {
+		t.Fatalf("empty relation uses %d slots", p.SlotCount())
+	}
+	if _, err := p.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoutePermutationIsOneFactor(t *testing.T) {
+	// h = 1: an ordinary permutation, one factor, OptimalSlots(d,g) slots.
+	pi := perms.VectorReversal(8)
+	reqs := make([]Request, 8)
+	for i := range reqs {
+		reqs[i] = Request{Src: i, Dst: pi[i]}
+	}
+	p, err := Route(4, 2, reqs, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.H != 1 || len(p.Factors) != 1 {
+		t.Fatalf("h=%d factors=%d, want 1/1", p.H, len(p.Factors))
+	}
+	if p.SlotCount() != PredictedSlots(4, 2, 1) {
+		t.Fatalf("slots = %d, want %d", p.SlotCount(), PredictedSlots(4, 2, 1))
+	}
+	if _, err := p.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randomHRelation(n, h int, rng *rand.Rand) []Request {
+	// Union of h random permutations: exactly h sends and receives per proc.
+	var reqs []Request
+	for k := 0; k < h; k++ {
+		pi := perms.Random(n, rng)
+		for i, v := range pi {
+			reqs = append(reqs, Request{Src: i, Dst: v})
+		}
+	}
+	return reqs
+}
+
+func TestRouteSaturatedRelations(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for _, tc := range []struct{ d, g, h int }{
+		{2, 2, 2}, {4, 4, 3}, {8, 2, 2}, {3, 5, 4}, {1, 6, 3},
+	} {
+		reqs := randomHRelation(tc.d*tc.g, tc.h, rng)
+		p, err := Route(tc.d, tc.g, reqs, core.Options{})
+		if err != nil {
+			t.Fatalf("d=%d g=%d h=%d: %v", tc.d, tc.g, tc.h, err)
+		}
+		if p.H != tc.h {
+			t.Fatalf("degree %d, want %d", p.H, tc.h)
+		}
+		if got, want := p.SlotCount(), PredictedSlots(tc.d, tc.g, tc.h); got != want {
+			t.Fatalf("d=%d g=%d h=%d: slots = %d, want %d", tc.d, tc.g, tc.h, got, want)
+		}
+		if _, err := p.Verify(); err != nil {
+			t.Fatalf("d=%d g=%d h=%d: %v", tc.d, tc.g, tc.h, err)
+		}
+	}
+}
+
+func TestRoutePartialRelationWithPadding(t *testing.T) {
+	// Unbalanced: proc 0 sends 3 packets, all to proc 5; others idle.
+	reqs := []Request{{0, 5}, {0, 5}, {0, 5}}
+	p, err := Route(3, 2, reqs, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.H != 3 {
+		t.Fatalf("h = %d, want 3", p.H)
+	}
+	if _, err := p.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// Each factor carries exactly one real request.
+	total := 0
+	for _, f := range p.Factors {
+		total += len(f)
+	}
+	if total != 3 {
+		t.Fatalf("factors cover %d real requests, want 3", total)
+	}
+}
+
+func TestRouteBroadcastLikeRelation(t *testing.T) {
+	// One source fans out to every processor (an h = n "relation"): the
+	// decomposition serializes it into n single-packet factors.
+	d, g := 2, 2
+	n := d * g
+	var reqs []Request
+	for p := 0; p < n; p++ {
+		reqs = append(reqs, Request{Src: 0, Dst: p})
+	}
+	p, err := Route(d, g, reqs, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.H != n {
+		t.Fatalf("h = %d, want %d", p.H, n)
+	}
+	if _, err := p.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRouteProperty(t *testing.T) {
+	f := func(dSeed, gSeed, hSeed uint8, seed int64) bool {
+		d := int(dSeed)%5 + 1
+		g := int(gSeed)%5 + 1
+		h := int(hSeed)%3 + 1
+		rng := rand.New(rand.NewSource(seed))
+		reqs := randomHRelation(d*g, h, rng)
+		p, err := Route(d, g, reqs, core.Options{})
+		if err != nil {
+			return false
+		}
+		if p.SlotCount() != PredictedSlots(d, g, h) {
+			return false
+		}
+		_, err = p.Verify()
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoutePropertySparse(t *testing.T) {
+	// Sparse random relations (not saturated): padding must fill the gaps.
+	f := func(dSeed, gSeed, mSeed uint8, seed int64) bool {
+		d := int(dSeed)%4 + 1
+		g := int(gSeed)%4 + 1
+		n := d * g
+		m := int(mSeed) % (2 * n)
+		rng := rand.New(rand.NewSource(seed))
+		reqs := make([]Request, m)
+		for i := range reqs {
+			reqs[i] = Request{Src: rng.Intn(n), Dst: rng.Intn(n)}
+		}
+		p, err := Route(d, g, reqs, core.Options{})
+		if err != nil {
+			return false
+		}
+		_, err = p.Verify()
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRouteInvalidShape(t *testing.T) {
+	if _, err := Route(0, 2, nil, core.Options{}); err == nil {
+		t.Fatal("invalid shape accepted")
+	}
+	if _, err := Route(2, 2, []Request{{0, 99}}, core.Options{}); err == nil {
+		t.Fatal("bad request accepted")
+	}
+}
+
+func TestAllToAll(t *testing.T) {
+	for _, tc := range []struct{ d, g int }{{2, 2}, {2, 3}, {3, 2}, {1, 4}} {
+		p, err := AllToAll(tc.d, tc.g, core.Options{})
+		if err != nil {
+			t.Fatalf("d=%d g=%d: %v", tc.d, tc.g, err)
+		}
+		n := tc.d * tc.g
+		if p.H != n-1 {
+			t.Fatalf("d=%d g=%d: degree %d, want %d", tc.d, tc.g, p.H, n-1)
+		}
+		if got, want := p.SlotCount(), PredictedSlots(tc.d, tc.g, n-1); got != want {
+			t.Fatalf("d=%d g=%d: slots = %d, want %d", tc.d, tc.g, got, want)
+		}
+		if _, err := p.Verify(); err != nil {
+			t.Fatalf("d=%d g=%d: %v", tc.d, tc.g, err)
+		}
+		// Every processor must appear exactly n−1 times as src and dst.
+		if len(p.Reqs) != n*(n-1) {
+			t.Fatalf("d=%d g=%d: %d requests, want %d", tc.d, tc.g, len(p.Reqs), n*(n-1))
+		}
+	}
+}
+
+func TestAllToAllInvalidShape(t *testing.T) {
+	if _, err := AllToAll(0, 2, core.Options{}); err == nil {
+		t.Fatal("invalid shape accepted")
+	}
+}

@@ -1,0 +1,139 @@
+package matmul
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pops/internal/core"
+)
+
+func randomMatrix(m int, rng *rand.Rand) [][]int64 {
+	a := make([][]int64, m)
+	for i := range a {
+		a[i] = make([]int64, m)
+		for j := range a[i] {
+			a[i][j] = int64(rng.Intn(19) - 9)
+		}
+	}
+	return a
+}
+
+func equalMatrix(a, b [][]int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestMultiplyValidation(t *testing.T) {
+	if _, err := Multiply(0, 1, 1, nil, nil, core.Options{}); err == nil {
+		t.Fatal("m=0 accepted")
+	}
+	if _, err := Multiply(2, 2, 3, nil, nil, core.Options{}); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+	bad := [][]int64{{1, 2}}
+	good := [][]int64{{1, 2}, {3, 4}}
+	if _, err := Multiply(2, 2, 2, bad, good, core.Options{}); err == nil {
+		t.Fatal("ragged A accepted")
+	}
+	if _, err := Multiply(2, 2, 2, good, [][]int64{{1}, {2}}, core.Options{}); err == nil {
+		t.Fatal("ragged B accepted")
+	}
+}
+
+func TestMultiplySmall(t *testing.T) {
+	a := [][]int64{{1, 2}, {3, 4}}
+	b := [][]int64{{5, 6}, {7, 8}}
+	res, err := Multiply(2, 2, 2, a, b, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]int64{{19, 22}, {43, 50}}
+	if !equalMatrix(res.C, want) {
+		t.Fatalf("C = %v, want %v", res.C, want)
+	}
+	if res.Slots != PredictedSlots(2, 2, 2) {
+		t.Fatalf("slots = %d, want %d", res.Slots, PredictedSlots(2, 2, 2))
+	}
+}
+
+func TestMultiplyAgainstReferenceAcrossShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for _, tc := range []struct{ m, d, g int }{
+		{2, 1, 4}, {2, 2, 2}, {2, 4, 1}, {3, 3, 3}, {4, 4, 4}, {4, 2, 8}, {4, 8, 2},
+	} {
+		a := randomMatrix(tc.m, rng)
+		b := randomMatrix(tc.m, rng)
+		res, err := Multiply(tc.m, tc.d, tc.g, a, b, core.Options{})
+		if err != nil {
+			t.Fatalf("m=%d d=%d g=%d: %v", tc.m, tc.d, tc.g, err)
+		}
+		if want := Reference(tc.m, a, b); !equalMatrix(res.C, want) {
+			t.Fatalf("m=%d d=%d g=%d: product differs from reference", tc.m, tc.d, tc.g)
+		}
+		if res.Slots != PredictedSlots(tc.m, tc.d, tc.g) {
+			t.Fatalf("m=%d d=%d g=%d: slots = %d, want %d",
+				tc.m, tc.d, tc.g, res.Slots, PredictedSlots(tc.m, tc.d, tc.g))
+		}
+		if res.Moves != 2+2*(tc.m-1) {
+			t.Fatalf("m=%d: moves = %d, want %d", tc.m, res.Moves, 2+2*(tc.m-1))
+		}
+	}
+}
+
+func TestMultiplyIdentityMatrix(t *testing.T) {
+	m := 3
+	id := make([][]int64, m)
+	for i := range id {
+		id[i] = make([]int64, m)
+		id[i][i] = 1
+	}
+	rng := rand.New(rand.NewSource(13))
+	a := randomMatrix(m, rng)
+	res, err := Multiply(m, 3, 3, a, id, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalMatrix(res.C, a) {
+		t.Fatal("A·I ≠ A")
+	}
+}
+
+func TestMultiplyProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := []int{2, 3, 4}[rng.Intn(3)]
+		// Pick a valid (d, g) factorization of m².
+		n := m * m
+		var d int
+		for {
+			d = rng.Intn(n) + 1
+			if n%d == 0 {
+				break
+			}
+		}
+		g := n / d
+		a := randomMatrix(m, rng)
+		b := randomMatrix(m, rng)
+		res, err := Multiply(m, d, g, a, b, core.Options{})
+		if err != nil {
+			return false
+		}
+		return equalMatrix(res.C, Reference(m, a, b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,79 @@
+package perms
+
+import "fmt"
+
+// MeshShift returns the wraparound-mesh data movement permutation of
+// Sahni 2000b, Theorem 2: on an rows×cols mesh stored row-major (element
+// (i, j) at processor i·cols + j), every element moves dr rows down and dc
+// columns right, with wraparound. (dr, dc) ∈ {(±1, 0), (0, ±1)} are the four
+// primitive SIMD mesh steps; arbitrary shifts are supported.
+func MeshShift(rows, cols, dr, dc int) ([]int, error) {
+	if rows < 1 || cols < 1 {
+		return nil, fmt.Errorf("perms: invalid mesh %dx%d", rows, cols)
+	}
+	pi := make([]int, rows*cols)
+	dr = ((dr % rows) + rows) % rows
+	dc = ((dc % cols) + cols) % cols
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			ni := (i + dr) % rows
+			nj := (j + dc) % cols
+			pi[i*cols+j] = ni*cols + nj
+		}
+	}
+	return pi, nil
+}
+
+// BlockPermutation builds a permutation of n = d·g processors from a group
+// permutation σ on N_g and per-group inner permutations τ_h on N_d:
+// π(i + h·d) = τ_h(i) + σ(h)·d. These are exactly the permutations with the
+// "group-mapping" property group(i) = group(j) ⇒ group(π(i)) = group(π(j))
+// of Propositions 2 and 3. With σ fixed-point free the class meets the
+// 2⌈d/g⌉ lower bound of Proposition 2.
+//
+// inner may be nil, meaning identity inner permutations; individual entries
+// may also be nil.
+func BlockPermutation(d, g int, sigma []int, inner [][]int) ([]int, error) {
+	if d < 1 || g < 1 {
+		return nil, fmt.Errorf("perms: invalid shape d=%d g=%d", d, g)
+	}
+	if len(sigma) != g {
+		return nil, fmt.Errorf("perms: group permutation has %d entries, want %d", len(sigma), g)
+	}
+	if err := Validate(sigma); err != nil {
+		return nil, fmt.Errorf("perms: group permutation: %w", err)
+	}
+	if inner != nil && len(inner) != g {
+		return nil, fmt.Errorf("perms: %d inner permutations, want %d", len(inner), g)
+	}
+	pi := make([]int, d*g)
+	for h := 0; h < g; h++ {
+		var tau []int
+		if inner != nil && inner[h] != nil {
+			if len(inner[h]) != d {
+				return nil, fmt.Errorf("perms: inner permutation %d has %d entries, want %d", h, len(inner[h]), d)
+			}
+			if err := Validate(inner[h]); err != nil {
+				return nil, fmt.Errorf("perms: inner permutation %d: %w", h, err)
+			}
+			tau = inner[h]
+		}
+		for i := 0; i < d; i++ {
+			ti := i
+			if tau != nil {
+				ti = tau[i]
+			}
+			pi[i+h*d] = ti + sigma[h]*d
+		}
+	}
+	return pi, nil
+}
+
+// GroupRotation is the adversarial instance for direct (greedy) routing:
+// every packet of group h is destined to group (h+shift) mod g, preserving
+// local order. All d packets of a group compete for a single coupler, so
+// direct routing needs d slots while Theorem 2 needs 2⌈d/g⌉.
+func GroupRotation(d, g, shift int) ([]int, error) {
+	sigma := CyclicShift(g, shift)
+	return BlockPermutation(d, g, sigma, nil)
+}

@@ -1,0 +1,31 @@
+package popsnet
+
+import (
+	"fmt"
+	"io"
+)
+
+// Format writes a human-readable listing of the schedule: one block per
+// slot, sends first (with the coupler each drives), then receives (with the
+// coupler each reads). The output is deterministic and is used by the
+// popsroute CLI and by golden tests of worked examples.
+func (s *Schedule) Format(w io.Writer) error {
+	for i, slot := range s.Slots {
+		if _, err := fmt.Fprintf(w, "slot %d:\n", i); err != nil {
+			return err
+		}
+		for _, snd := range slot.Sends {
+			if _, err := fmt.Fprintf(w, "  proc %3d sends packet %3d on c(%d,%d)\n",
+				snd.Src, snd.Packet, snd.DestGroup, s.Net.Group(snd.Src)); err != nil {
+				return err
+			}
+		}
+		for _, rcv := range slot.Recvs {
+			if _, err := fmt.Fprintf(w, "  proc %3d reads c(%d,%d)\n",
+				rcv.Proc, s.Net.Group(rcv.Proc), rcv.SrcGroup); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

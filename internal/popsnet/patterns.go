@@ -1,0 +1,62 @@
+package popsnet
+
+import "fmt"
+
+// OneToAll returns the paper's one-slot broadcast schedule: the speaker
+// sends its packet to all g couplers c(a, group(speaker)), and every
+// processor (speaker included) tunes its receiver to coupler
+// c(group(j), group(speaker)). The diameter-1 property of Section 1.
+func OneToAll(nw Network, speaker, packet int) (*Schedule, error) {
+	if !nw.ValidProc(speaker) {
+		return nil, fmt.Errorf("popsnet: speaker %d out of range", speaker)
+	}
+	slot := Slot{}
+	sg := nw.Group(speaker)
+	for a := 0; a < nw.G; a++ {
+		slot.Sends = append(slot.Sends, Send{Src: speaker, DestGroup: a, Packet: packet})
+	}
+	for j := 0; j < nw.N(); j++ {
+		slot.Recvs = append(slot.Recvs, Recv{Proc: j, SrcGroup: sg})
+	}
+	return &Schedule{Net: nw, Slots: []Slot{slot}}, nil
+}
+
+// DirectSlot builds the single slot that sends packet p from processor
+// src[p] straight to processor dst[p] for every listed packet, or an error
+// description of why it cannot be done in one slot (coupler or receiver
+// conflict). Both slices are indexed by position; entry i moves packet
+// pkts[i] from src[i] to dst[i].
+//
+// This is the primitive behind Fact 1 (fairly distributed sets route in one
+// slot) and the Gravenstreter–Melhem single-slot characterization.
+func DirectSlot(nw Network, pkts, src, dst []int) (Slot, error) {
+	if len(pkts) != len(src) || len(src) != len(dst) {
+		return Slot{}, fmt.Errorf("popsnet: mismatched lengths %d/%d/%d", len(pkts), len(src), len(dst))
+	}
+	slot := Slot{}
+	couplerBusy := make(map[int]bool, len(pkts))
+	recvBusy := make(map[int]bool, len(pkts))
+	srcBusy := make(map[int]bool, len(pkts))
+	for i := range pkts {
+		if !nw.ValidProc(src[i]) || !nw.ValidProc(dst[i]) {
+			return Slot{}, fmt.Errorf("popsnet: transfer %d endpoints (%d→%d) out of range", i, src[i], dst[i])
+		}
+		a, b := nw.Group(src[i]), nw.Group(dst[i])
+		cid := nw.CouplerID(b, a)
+		if couplerBusy[cid] {
+			return Slot{}, fmt.Errorf("popsnet: coupler c(%d,%d) needed twice", b, a)
+		}
+		if recvBusy[dst[i]] {
+			return Slot{}, fmt.Errorf("popsnet: processor %d must receive twice", dst[i])
+		}
+		if srcBusy[src[i]] {
+			return Slot{}, fmt.Errorf("popsnet: processor %d must send two packets", src[i])
+		}
+		couplerBusy[cid] = true
+		recvBusy[dst[i]] = true
+		srcBusy[src[i]] = true
+		slot.Sends = append(slot.Sends, Send{Src: src[i], DestGroup: b, Packet: pkts[i]})
+		slot.Recvs = append(slot.Recvs, Recv{Proc: dst[i], SrcGroup: a})
+	}
+	return slot, nil
+}

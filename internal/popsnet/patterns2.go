@@ -1,0 +1,110 @@
+package popsnet
+
+import "fmt"
+
+// PermuteWithinGroups builds the one-slot schedule in which every group
+// independently permutes its own packets through its diagonal coupler
+// c(a, a)… which carries only one packet per slot, so a within-group
+// permutation needs d slots via couplers alone. Instead, the standard POPS
+// realization (Gravenstreter & Melhem) spreads each group's packets across
+// all g couplers c(·, a) in one slot and gathers them back in a second —
+// exactly the Theorem 2 two-phase shape. This helper builds the d-slot
+// diagonal-coupler schedule, the baseline that motivates relaying.
+//
+// inner[a] is the permutation applied inside group a (length d, local
+// indices); nil entries mean identity (those packets do not move).
+func PermuteWithinGroups(nw Network, inner [][]int) (*Schedule, error) {
+	if len(inner) != nw.G {
+		return nil, fmt.Errorf("popsnet: %d inner permutations for %d groups", len(inner), nw.G)
+	}
+	// Collect per-group moves; slot k carries the k-th move of each group.
+	moves := make([][][2]int, nw.G) // group -> list of (srcLocal, dstLocal)
+	maxMoves := 0
+	for a, tau := range inner {
+		if tau == nil {
+			continue
+		}
+		if len(tau) != nw.D {
+			return nil, fmt.Errorf("popsnet: inner permutation %d has %d entries, want %d", a, len(tau), nw.D)
+		}
+		seen := make([]bool, nw.D)
+		for i, v := range tau {
+			if v < 0 || v >= nw.D || seen[v] {
+				return nil, fmt.Errorf("popsnet: inner permutation %d is not a permutation", a)
+			}
+			seen[v] = true
+			if v != i {
+				moves[a] = append(moves[a], [2]int{i, v})
+			}
+		}
+		if len(moves[a]) > maxMoves {
+			maxMoves = len(moves[a])
+		}
+	}
+	sched := &Schedule{Net: nw, Slots: make([]Slot, maxMoves)}
+	for a := 0; a < nw.G; a++ {
+		for k, mv := range moves[a] {
+			src := nw.Proc(a, mv[0])
+			dst := nw.Proc(a, mv[1])
+			sched.Slots[k].Sends = append(sched.Slots[k].Sends, Send{Src: src, DestGroup: a, Packet: src})
+			sched.Slots[k].Recvs = append(sched.Slots[k].Recvs, Recv{Proc: dst, SrcGroup: a})
+		}
+	}
+	return sched, nil
+}
+
+// GroupBroadcast builds the one-slot schedule in which one speaker per group
+// broadcasts to every processor of its own group via the diagonal coupler
+// c(a, a). speakers[a] is the local index of group a's speaker.
+func GroupBroadcast(nw Network, speakers []int) (*Schedule, error) {
+	if len(speakers) != nw.G {
+		return nil, fmt.Errorf("popsnet: %d speakers for %d groups", len(speakers), nw.G)
+	}
+	slot := Slot{}
+	for a, local := range speakers {
+		if local < 0 || local >= nw.D {
+			return nil, fmt.Errorf("popsnet: speaker %d of group %d out of range", local, a)
+		}
+		src := nw.Proc(a, local)
+		slot.Sends = append(slot.Sends, Send{Src: src, DestGroup: a, Packet: src})
+		for i := 0; i < nw.D; i++ {
+			slot.Recvs = append(slot.Recvs, Recv{Proc: nw.Proc(a, i), SrcGroup: a})
+		}
+	}
+	return &Schedule{Net: nw, Slots: []Slot{slot}}, nil
+}
+
+// Stats summarizes the resource usage of a schedule.
+type Stats struct {
+	Slots         int
+	Sends         int
+	Recvs         int
+	CouplersUsed  int     // distinct (slot, coupler) pairs
+	MaxCouplers   int     // couplers available per slot, g²
+	Utilization   float64 // CouplersUsed / (Slots · g²)
+	BroadcastOnly bool    // true if some sender drove >1 coupler in a slot
+}
+
+// ComputeStats walks the schedule and returns its Stats. It does not
+// validate the schedule; use Run for that.
+func ComputeStats(s *Schedule) Stats {
+	st := Stats{Slots: len(s.Slots), MaxCouplers: s.Net.Couplers()}
+	for _, slot := range s.Slots {
+		st.Sends += len(slot.Sends)
+		st.Recvs += len(slot.Recvs)
+		used := make(map[int]bool)
+		perSender := make(map[int]int)
+		for _, snd := range slot.Sends {
+			used[s.Net.CouplerID(snd.DestGroup, s.Net.Group(snd.Src))] = true
+			perSender[snd.Src]++
+			if perSender[snd.Src] > 1 {
+				st.BroadcastOnly = true
+			}
+		}
+		st.CouplersUsed += len(used)
+	}
+	if st.Slots > 0 {
+		st.Utilization = float64(st.CouplersUsed) / float64(st.Slots*st.MaxCouplers)
+	}
+	return st
+}

@@ -1,0 +1,127 @@
+package popsnet
+
+import "testing"
+
+func TestPermuteWithinGroups(t *testing.T) {
+	nw := mustNet(t, 3, 2)
+	// Group 0 rotates locally, group 1 stays put.
+	sched, err := PermuteWithinGroups(nw, [][]int{{1, 2, 0}, nil})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three real moves in group 0 serialize on coupler c(0,0).
+	if sched.SlotCount() != 3 {
+		t.Fatalf("slots = %d, want 3", sched.SlotCount())
+	}
+	st, _, err := Run(sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Packet at local i moves to local tau(i): 0->1, 1->2, 2->0.
+	for i, want := range []int{1, 2, 0} {
+		if !st.Holds(nw.Proc(0, want), nw.Proc(0, i)) {
+			t.Fatalf("packet %d not at local %d", i, want)
+		}
+	}
+	// Group 1's packets never moved.
+	for i := 0; i < 3; i++ {
+		p := nw.Proc(1, i)
+		if !st.Holds(p, p) {
+			t.Fatalf("group 1 packet %d moved", p)
+		}
+	}
+}
+
+func TestPermuteWithinGroupsValidation(t *testing.T) {
+	nw := mustNet(t, 2, 2)
+	if _, err := PermuteWithinGroups(nw, [][]int{{1, 0}}); err == nil {
+		t.Fatal("wrong group count accepted")
+	}
+	if _, err := PermuteWithinGroups(nw, [][]int{{0}, nil}); err == nil {
+		t.Fatal("short inner accepted")
+	}
+	if _, err := PermuteWithinGroups(nw, [][]int{{0, 0}, nil}); err == nil {
+		t.Fatal("non-permutation inner accepted")
+	}
+}
+
+func TestPermuteWithinGroupsIdentityIsEmpty(t *testing.T) {
+	nw := mustNet(t, 2, 2)
+	sched, err := PermuteWithinGroups(nw, [][]int{{0, 1}, {0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched.SlotCount() != 0 {
+		t.Fatalf("identity schedule has %d slots, want 0", sched.SlotCount())
+	}
+}
+
+func TestGroupBroadcast(t *testing.T) {
+	nw := mustNet(t, 3, 2)
+	sched, err := GroupBroadcast(nw, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched.SlotCount() != 1 {
+		t.Fatalf("slots = %d, want 1", sched.SlotCount())
+	}
+	st, _, err := Run(sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Everyone in group a holds the speaker's packet.
+	for a, local := range []int{1, 2} {
+		speaker := nw.Proc(a, local)
+		for i := 0; i < nw.D; i++ {
+			if !st.Holds(nw.Proc(a, i), speaker) {
+				t.Fatalf("group %d proc %d missing broadcast", a, i)
+			}
+		}
+	}
+}
+
+func TestGroupBroadcastValidation(t *testing.T) {
+	nw := mustNet(t, 2, 2)
+	if _, err := GroupBroadcast(nw, []int{0}); err == nil {
+		t.Fatal("wrong speaker count accepted")
+	}
+	if _, err := GroupBroadcast(nw, []int{0, 5}); err == nil {
+		t.Fatal("out-of-range speaker accepted")
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	nw := mustNet(t, 1, 2)
+	swap := Slot{
+		Sends: []Send{{Src: 0, DestGroup: 1, Packet: 0}, {Src: 1, DestGroup: 0, Packet: 1}},
+		Recvs: []Recv{{Proc: 1, SrcGroup: 0}, {Proc: 0, SrcGroup: 1}},
+	}
+	st := ComputeStats(&Schedule{Net: nw, Slots: []Slot{swap}})
+	if st.Slots != 1 || st.Sends != 2 || st.Recvs != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.CouplersUsed != 2 || st.MaxCouplers != 4 {
+		t.Fatalf("coupler stats = %+v", st)
+	}
+	if st.Utilization != 0.5 {
+		t.Fatalf("utilization = %v, want 0.5", st.Utilization)
+	}
+	if st.BroadcastOnly {
+		t.Fatal("no broadcast in schedule")
+	}
+
+	// A broadcast schedule sets BroadcastOnly.
+	b, err := OneToAll(nw, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bs := ComputeStats(b); !bs.BroadcastOnly {
+		t.Fatal("broadcast not detected")
+	}
+
+	// Empty schedule: utilization 0, no division by zero.
+	empty := ComputeStats(&Schedule{Net: nw})
+	if empty.Utilization != 0 {
+		t.Fatalf("empty utilization = %v", empty.Utilization)
+	}
+}

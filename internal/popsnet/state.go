@@ -1,0 +1,76 @@
+package popsnet
+
+import "fmt"
+
+// NewCustomState builds a state holding len(home) packets, with packet k
+// starting at processor home[k]. Several packets may share a home — the
+// h-relation workloads need exactly that. It returns an error if any home is
+// out of range.
+func NewCustomState(nw Network, home []int) (*State, error) {
+	st := &State{
+		nw:      nw,
+		holding: make([][]int, nw.N()),
+		where:   make([]int, len(home)),
+	}
+	for k, h := range home {
+		if !nw.ValidProc(h) {
+			return nil, fmt.Errorf("popsnet: packet %d home %d out of range", k, h)
+		}
+		st.holding[h] = append(st.holding[h], k)
+		st.where[k] = h
+	}
+	return st, nil
+}
+
+// RunFrom replays the schedule starting from the custom initial placement
+// home (packet k at processor home[k]), returning the final state and trace.
+func RunFrom(s *Schedule, home []int) (*State, *Trace, error) {
+	st, err := NewCustomState(s.Net, home)
+	if err != nil {
+		return nil, nil, err
+	}
+	tr := &Trace{
+		MaxHeld:      make([]int, len(s.Slots)),
+		PacketsMoved: make([]int, len(s.Slots)),
+	}
+	for i := range s.Slots {
+		if err := step(st, &s.Slots[i]); err != nil {
+			return nil, nil, &SlotError{Slot: i, Err: err}
+		}
+		tr.PacketsMoved[i] = len(s.Slots[i].Recvs)
+		maxHeld := 0
+		for p := range st.holding {
+			if len(st.holding[p]) > maxHeld {
+				maxHeld = len(st.holding[p])
+			}
+		}
+		tr.MaxHeld[i] = maxHeld
+	}
+	return st, tr, nil
+}
+
+// VerifyDelivery replays the schedule from the custom placement home and
+// checks that packet k ends at processor want[k] for every k with
+// want[k] >= 0 (negative entries are don't-care, used for padding packets).
+func VerifyDelivery(s *Schedule, home, want []int) (*Trace, error) {
+	if len(home) != len(want) {
+		return nil, fmt.Errorf("popsnet: %d homes for %d wanted positions", len(home), len(want))
+	}
+	st, tr, err := RunFrom(s, home)
+	if err != nil {
+		return nil, err
+	}
+	for k, w := range want {
+		if w < 0 {
+			continue
+		}
+		if !s.Net.ValidProc(w) {
+			return nil, fmt.Errorf("popsnet: packet %d wanted at invalid processor %d", k, w)
+		}
+		if !st.Holds(w, k) {
+			return nil, fmt.Errorf("popsnet: packet %d not delivered to processor %d (held by %d)",
+				k, w, st.where[k])
+		}
+	}
+	return tr, nil
+}

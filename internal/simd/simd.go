@@ -1,0 +1,92 @@
+// Package simd provides the execution harness shared by the application-
+// level simulations (hypercube, mesh, matrix multiplication): a wrapper
+// around a POPS network that moves SIMD register values by planning each
+// data movement as a permutation with the Theorem 2 router, replaying the
+// schedule on the popsnet simulator as an oracle, and accumulating the slot
+// cost. Applications thus pay — and report — exactly the slot counts the
+// paper's theory predicts.
+package simd
+
+import (
+	"fmt"
+
+	"pops/internal/core"
+	"pops/internal/popsnet"
+)
+
+// Router executes data movements on a POPS network, charging slots.
+type Router struct {
+	Net  popsnet.Network
+	Opts core.Options
+	// Slots accumulates the verified slot cost of all operations.
+	Slots int
+	// Moves counts permutation routings performed.
+	Moves int
+	// SkipReplay disables the simulator replay of every schedule (the plans
+	// are still constructed). Benchmarks use it to time planning alone;
+	// tests keep the oracle on.
+	SkipReplay bool
+}
+
+// NewRouter builds a router for POPS(d, g).
+func NewRouter(d, g int, opts core.Options) (*Router, error) {
+	nw, err := popsnet.NewNetwork(d, g)
+	if err != nil {
+		return nil, err
+	}
+	return &Router{Net: nw, Opts: opts}, nil
+}
+
+// Permute routes values according to pi: after the call,
+// values[pi[p]] = old values[p] for every processor p. The movement is
+// planned with Theorem 2, verified on the simulator, and charged
+// core.OptimalSlots(d, g) slots.
+func (r *Router) Permute(values []int64, pi []int) error {
+	if len(values) != r.Net.N() {
+		return fmt.Errorf("simd: %d values on %d processors", len(values), r.Net.N())
+	}
+	plan, err := core.PlanRoute(r.Net.D, r.Net.G, pi, r.Opts)
+	if err != nil {
+		return err
+	}
+	if !r.SkipReplay {
+		if _, err := plan.Verify(); err != nil {
+			return fmt.Errorf("simd: schedule failed simulation: %w", err)
+		}
+	}
+	r.Slots += plan.SlotCount()
+	r.Moves++
+	out := make([]int64, len(values))
+	for p, v := range values {
+		out[pi[p]] = v
+	}
+	copy(values, out)
+	return nil
+}
+
+// Broadcast copies values[src] into every processor using the paper's
+// one-slot one-to-all pattern (Section 1), charging one slot.
+func (r *Router) Broadcast(values []int64, src int) error {
+	if len(values) != r.Net.N() {
+		return fmt.Errorf("simd: %d values on %d processors", len(values), r.Net.N())
+	}
+	if !r.Net.ValidProc(src) {
+		return fmt.Errorf("simd: broadcast source %d out of range", src)
+	}
+	if !r.SkipReplay {
+		sched, err := popsnet.OneToAll(r.Net, src, src)
+		if err != nil {
+			return err
+		}
+		if _, _, err := popsnet.Run(sched); err != nil {
+			return fmt.Errorf("simd: broadcast failed simulation: %w", err)
+		}
+	}
+	r.Slots++
+	r.Moves++
+	v := values[src]
+	for i := range values {
+		values[i] = v
+	}
+	return nil
+}

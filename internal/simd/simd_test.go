@@ -1,0 +1,94 @@
+package simd
+
+import (
+	"testing"
+
+	"pops/internal/core"
+	"pops/internal/perms"
+)
+
+func TestNewRouterValidation(t *testing.T) {
+	if _, err := NewRouter(0, 2, core.Options{}); err == nil {
+		t.Fatal("invalid shape accepted")
+	}
+}
+
+func TestPermuteMovesValuesAndCharges(t *testing.T) {
+	r, err := NewRouter(2, 2, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := []int64{10, 20, 30, 40}
+	pi := perms.VectorReversal(4)
+	if err := r.Permute(vals, pi); err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{40, 30, 20, 10}
+	for i := range want {
+		if vals[i] != want[i] {
+			t.Fatalf("vals = %v, want %v", vals, want)
+		}
+	}
+	if r.Slots != core.OptimalSlots(2, 2) {
+		t.Fatalf("slots = %d, want %d", r.Slots, core.OptimalSlots(2, 2))
+	}
+	if r.Moves != 1 {
+		t.Fatalf("moves = %d, want 1", r.Moves)
+	}
+}
+
+func TestPermuteValidation(t *testing.T) {
+	r, err := NewRouter(2, 2, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Permute([]int64{1}, perms.Identity(4)); err == nil {
+		t.Fatal("short values accepted")
+	}
+	if err := r.Permute(make([]int64, 4), []int{0, 0, 1, 1}); err == nil {
+		t.Fatal("non-permutation accepted")
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	r, err := NewRouter(2, 3, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := []int64{1, 2, 3, 4, 5, 6}
+	if err := r.Broadcast(vals, 3); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range vals {
+		if v != 4 {
+			t.Fatalf("vals[%d] = %d after broadcast, want 4", i, v)
+		}
+	}
+	if r.Slots != 1 {
+		t.Fatalf("slots = %d, want 1", r.Slots)
+	}
+	if err := r.Broadcast(vals, 99); err == nil {
+		t.Fatal("invalid source accepted")
+	}
+	if err := r.Broadcast(vals[:2], 0); err == nil {
+		t.Fatal("short values accepted")
+	}
+}
+
+func TestSkipReplayStillCharges(t *testing.T) {
+	r, err := NewRouter(2, 2, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.SkipReplay = true
+	vals := make([]int64, 4)
+	if err := r.Permute(vals, perms.VectorReversal(4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Broadcast(vals, 0); err != nil {
+		t.Fatal(err)
+	}
+	if r.Slots != core.OptimalSlots(2, 2)+1 {
+		t.Fatalf("slots = %d", r.Slots)
+	}
+}

@@ -1,0 +1,66 @@
+// Package singleslot implements the Gravenstreter & Melhem (1998)
+// characterization of permutations routable in a single slot on POPS(d, g),
+// and the corresponding one-slot router. This is the baseline Theorem 2
+// generalizes: only a very restricted class of permutations qualifies —
+// whenever two packets originate in one group and target one group, a
+// coupler must carry both and one slot cannot suffice.
+package singleslot
+
+import (
+	"fmt"
+
+	"pops/internal/perms"
+	"pops/internal/popsnet"
+)
+
+// IsRoutable reports whether pi can be routed in one slot on POPS(d, g):
+// every (source group, destination group) pair carries at most one packet.
+// For a permutation this already implies the receiver-side constraints (one
+// packet per destination processor, at most g arrivals per group).
+func IsRoutable(d, g int, pi []int) (bool, error) {
+	if d < 1 || g < 1 {
+		return false, fmt.Errorf("singleslot: invalid shape d=%d g=%d", d, g)
+	}
+	if len(pi) != d*g {
+		return false, fmt.Errorf("singleslot: permutation length %d, want %d", len(pi), d*g)
+	}
+	if err := perms.Validate(pi); err != nil {
+		return false, fmt.Errorf("singleslot: %w", err)
+	}
+	seen := make(map[[2]int]bool, len(pi))
+	for p, dest := range pi {
+		key := [2]int{p / d, dest / d}
+		if seen[key] {
+			return false, nil
+		}
+		seen[key] = true
+	}
+	return true, nil
+}
+
+// Route builds the one-slot schedule for a single-slot-routable permutation,
+// or an error explaining the first coupler conflict if it is not routable.
+func Route(d, g int, pi []int) (*popsnet.Schedule, error) {
+	ok, err := IsRoutable(d, g, pi)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("singleslot: permutation is not single-slot routable on POPS(%d,%d)", d, g)
+	}
+	nw, err := popsnet.NewNetwork(d, g)
+	if err != nil {
+		return nil, err
+	}
+	n := nw.N()
+	pkts := make([]int, n)
+	src := make([]int, n)
+	for p := 0; p < n; p++ {
+		pkts[p], src[p] = p, p
+	}
+	slot, err := popsnet.DirectSlot(nw, pkts, src, pi)
+	if err != nil {
+		return nil, fmt.Errorf("singleslot: internal error: %w", err)
+	}
+	return &popsnet.Schedule{Net: nw, Slots: []popsnet.Slot{slot}}, nil
+}

@@ -1,0 +1,142 @@
+package singleslot
+
+import (
+	"math/rand"
+	"testing"
+
+	"pops/internal/perms"
+	"pops/internal/popsnet"
+)
+
+func TestIsRoutableValidation(t *testing.T) {
+	if _, err := IsRoutable(0, 2, nil); err == nil {
+		t.Fatal("d=0 accepted")
+	}
+	if _, err := IsRoutable(2, 2, []int{0}); err == nil {
+		t.Fatal("short permutation accepted")
+	}
+	if _, err := IsRoutable(2, 2, []int{0, 0, 1, 1}); err == nil {
+		t.Fatal("non-permutation accepted")
+	}
+}
+
+func TestGroupCollisionNotRoutable(t *testing.T) {
+	// The paper's observation: two packets from one group to one group
+	// (Figure 3's processors 4 and 5) cannot be routed in one slot.
+	ok, err := IsRoutable(3, 3, []int{4, 8, 3, 6, 0, 2, 7, 1, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("Figure 3 permutation claimed single-slot routable")
+	}
+}
+
+func TestBlockRotationNotRoutableForD2(t *testing.T) {
+	pi, err := perms.GroupRotation(2, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := IsRoutable(2, 2, pi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("group rotation claimed routable")
+	}
+	if _, err := Route(2, 2, pi); err == nil {
+		t.Fatal("Route accepted unroutable permutation")
+	}
+}
+
+func TestD1AlwaysRoutable(t *testing.T) {
+	// POPS(1, n) is fully interconnected: every permutation routes in one
+	// slot (the d = 1 case of Theorem 2).
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{1, 2, 5, 16} {
+		pi := perms.Random(n, rng)
+		ok, err := IsRoutable(1, n, pi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("n=%d: permutation not routable with d=1", n)
+		}
+		sched, err := Route(1, n, pi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sched.SlotCount() != 1 {
+			t.Fatalf("slots = %d, want 1", sched.SlotCount())
+		}
+		if _, err := popsnet.VerifyPermutationRouted(sched, pi); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestRoutableCrossGroupPermutation(t *testing.T) {
+	// d=2, g=4: send each group's packets to two different groups so every
+	// (src,dst) group pair is used at most once.
+	// Group h's packets go to groups (h+1)%4 and (h+2)%4, local slot 0/1.
+	d, g := 2, 4
+	pi := make([]int, d*g)
+	used := make(map[int]bool)
+	for h := 0; h < g; h++ {
+		a, b := (h+1)%g, (h+2)%g
+		// local positions chosen so destinations are a permutation: place
+		// packet (h,0) at (a, h%d) and (h,1) at (b, (h/2)%d)… simpler: track
+		// used destinations explicitly.
+		placed := 0
+		for _, dg := range []int{a, b} {
+			for local := 0; local < d; local++ {
+				dest := dg*d + local
+				if !used[dest] {
+					used[dest] = true
+					pi[h*d+placed] = dest
+					placed++
+					break
+				}
+			}
+		}
+		if placed != 2 {
+			t.Fatal("test construction failed")
+		}
+	}
+	if err := perms.Validate(pi); err != nil {
+		t.Fatalf("constructed destination map invalid: %v", err)
+	}
+	ok, err := IsRoutable(d, g, pi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("cross-group permutation %v not routable", pi)
+	}
+	sched, err := Route(d, g, pi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := popsnet.VerifyPermutationRouted(sched, pi); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIdentityRoutableOnlyWhenDLeqG(t *testing.T) {
+	// Identity uses pair (h,h) once per packet: routable iff d == 1... no:
+	// all d packets of group h use pair (h,h), so routable iff d == 1.
+	ok, err := IsRoutable(2, 2, perms.Identity(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("identity with d=2 claimed routable")
+	}
+	ok, err = IsRoutable(1, 4, perms.Identity(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("identity with d=1 not routable")
+	}
+}

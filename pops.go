@@ -1,0 +1,204 @@
+// Package pops is the public API of the POPS permutation-routing library, a
+// full reproduction of Mei & Rizzi, "Routing Permutations in Partitioned
+// Optical Passive Stars Networks" (IPPS 2002).
+//
+// A POPS(d, g) network connects n = d·g processors, partitioned into g
+// groups of d, through g² optical passive star couplers. The central result
+// (Theorem 2) is that any permutation π of the n processors can be routed in
+// one slot when d = 1 and 2·⌈d/g⌉ slots when d > 1 — worst-case optimal,
+// and within a factor two of optimal for every fixed-point-free permutation.
+//
+// Quick start:
+//
+//	pi := pops.RandomPermutation(64, rng)
+//	plan, err := pops.Route(8, 8, pi) // POPS(8,8), n = 64
+//	// plan.SlotCount() == 2 == pops.OptimalSlots(8, 8)
+//	trace, err := plan.Verify()      // replay on the slot-level simulator
+//
+// The facade re-exports the building blocks: the slot-level network
+// simulator (Network, Schedule, Run), the Theorem 1 machinery (fair
+// distributions via balanced bipartite edge coloring), permutation families
+// from the related literature (BPC, mesh shifts, hypercube exchanges,
+// reversal, transpose), the lower bounds of Propositions 1–3, and the
+// baselines the paper compares against.
+package pops
+
+import (
+	"math/rand"
+
+	"pops/internal/bounds"
+	"pops/internal/core"
+	"pops/internal/edgecolor"
+	"pops/internal/greedy"
+	"pops/internal/hrelation"
+	"pops/internal/perms"
+	"pops/internal/popsnet"
+	"pops/internal/singleslot"
+)
+
+// Algorithm selects the bipartite edge-coloring backend used by the planner
+// (the computational bottleneck named in Remark 1 of the paper).
+type Algorithm = edgecolor.Algorithm
+
+// Available coloring backends.
+const (
+	// RepeatedMatching extracts perfect matchings with Hopcroft–Karp.
+	RepeatedMatching = edgecolor.RepeatedMatching
+	// EulerSplitDC is the near-linear Euler-split divide and conquer
+	// (default).
+	EulerSplitDC = edgecolor.EulerSplitDC
+	// Insertion is the O(n·m) alternating-path König coloring.
+	Insertion = edgecolor.Insertion
+)
+
+// Options configures the planner.
+type Options = core.Options
+
+// Plan is a verified-constructible routing plan; see Route.
+type Plan = core.Plan
+
+// Network describes a POPS(d, g) network shape.
+type Network = popsnet.Network
+
+// Schedule is a sequence of communication slots on a network.
+type Schedule = popsnet.Schedule
+
+// Trace records per-slot statistics of a simulated execution.
+type Trace = popsnet.Trace
+
+// NewNetwork validates a POPS(d, g) shape.
+func NewNetwork(d, g int) (Network, error) { return popsnet.NewNetwork(d, g) }
+
+// Route plans the Theorem 2 routing of pi on POPS(d, g) with default
+// options. The schedule uses exactly OptimalSlots(d, g) slots and can be
+// replayed with plan.Verify.
+func Route(d, g int, pi []int) (*Plan, error) {
+	return core.PlanRoute(d, g, pi, Options{})
+}
+
+// RouteWith is Route with explicit options.
+func RouteWith(d, g int, pi []int, opts Options) (*Plan, error) {
+	return core.PlanRoute(d, g, pi, opts)
+}
+
+// OptimalSlots returns Theorem 2's slot count: 1 when d = 1, else 2⌈d/g⌉.
+func OptimalSlots(d, g int) int { return core.OptimalSlots(d, g) }
+
+// LowerBound returns the strongest applicable lower bound of Propositions
+// 1–3 on the slots needed to route pi on POPS(d, g), with the name of the
+// proposition supplying it ("Prop1", "Prop2", "Prop3", or "none").
+func LowerBound(d, g int, pi []int) (int, string, error) {
+	return bounds.LowerBound(d, g, pi)
+}
+
+// Run replays a schedule on the slot-level simulator from the canonical
+// initial state (packet p at processor p).
+func Run(s *Schedule) (*Trace, error) {
+	_, tr, err := popsnet.Run(s)
+	return tr, err
+}
+
+// OneToAll returns the paper's one-slot broadcast schedule from the given
+// speaker processor.
+func OneToAll(nw Network, speaker int) (*Schedule, error) {
+	return popsnet.OneToAll(nw, speaker, speaker)
+}
+
+// GreedyRoute runs the direct-routing baseline (no relays, maximal
+// conflict-free packing per slot) and returns its schedule and slot count.
+func GreedyRoute(d, g int, pi []int) (*Schedule, int, error) {
+	res, err := greedy.Route(d, g, pi)
+	if err != nil {
+		return nil, 0, err
+	}
+	return res.Schedule, res.Slots, nil
+}
+
+// DirectOptimalRoute routes pi with direct (relay-free) transfers in the
+// minimum number of slots any direct router can achieve: the maximum
+// multiplicity of a (source group, destination group) pair. It recovers
+// specialized results like Sahni's ⌈d/g⌉-slot matrix transpose.
+func DirectOptimalRoute(d, g int, pi []int) (*Schedule, int, error) {
+	res, err := greedy.DirectOptimal(d, g, pi)
+	if err != nil {
+		return nil, 0, err
+	}
+	return res.Schedule, res.Slots, nil
+}
+
+// IsOneSlotRoutable reports the Gravenstreter–Melhem characterization:
+// whether pi routes in a single slot on POPS(d, g).
+func IsOneSlotRoutable(d, g int, pi []int) (bool, error) {
+	return singleslot.IsRoutable(d, g, pi)
+}
+
+// OneSlotRoute builds the single-slot schedule for a permutation satisfying
+// IsOneSlotRoutable.
+func OneSlotRoute(d, g int, pi []int) (*Schedule, error) {
+	return singleslot.Route(d, g, pi)
+}
+
+// Request is one packet demand of an h-relation: move a packet from Src to
+// Dst. Processors may appear in up to h requests as source and up to h as
+// destination.
+type Request = hrelation.Request
+
+// HRelationPlan is a verified-constructible plan for an h-relation.
+type HRelationPlan = hrelation.Plan
+
+// RouteHRelation generalizes Route to h-relations: the request multigraph is
+// decomposed into h permutations (König), each routed by Theorem 2, for
+// h·OptimalSlots(d, g) slots in total.
+func RouteHRelation(d, g int, reqs []Request) (*HRelationPlan, error) {
+	return hrelation.Route(d, g, reqs, Options{})
+}
+
+// HRelationSlots returns the slot cost of RouteHRelation for degree h.
+func HRelationSlots(d, g, h int) int { return hrelation.PredictedSlots(d, g, h) }
+
+// AllToAll routes the complete exchange (every processor sends one distinct
+// packet to every other processor) as an (n−1)-relation.
+func AllToAll(d, g int) (*HRelationPlan, error) {
+	return hrelation.AllToAll(d, g, Options{})
+}
+
+// Permutation utilities and families (package perms).
+
+// ValidatePermutation checks that pi is a permutation of {0,…,len(pi)−1}.
+func ValidatePermutation(pi []int) error { return perms.Validate(pi) }
+
+// IdentityPermutation returns the identity on n elements.
+func IdentityPermutation(n int) []int { return perms.Identity(n) }
+
+// RandomPermutation returns a uniformly random permutation.
+func RandomPermutation(n int, rng *rand.Rand) []int { return perms.Random(n, rng) }
+
+// RandomDerangement returns a random fixed-point-free permutation (n ≥ 2).
+func RandomDerangement(n int, rng *rand.Rand) []int { return perms.RandomDerangement(n, rng) }
+
+// VectorReversal returns π(i) = n−1−i.
+func VectorReversal(n int) []int { return perms.VectorReversal(n) }
+
+// Transpose returns the r×c matrix transpose permutation.
+func Transpose(r, c int) []int { return perms.Transpose(r, c) }
+
+// MeshShift returns the torus shift permutation of an rows×cols mesh.
+func MeshShift(rows, cols, dr, dc int) ([]int, error) { return perms.MeshShift(rows, cols, dr, dc) }
+
+// GroupRotation maps every packet of group h to group (h+shift) mod g — the
+// adversarial instance for direct routing.
+func GroupRotation(d, g, shift int) ([]int, error) { return perms.GroupRotation(d, g, shift) }
+
+// BPC is a bit-permute-complement permutation (Sahni 2000a).
+type BPC = perms.BPC
+
+// NewBPC builds a BPC permutation descriptor.
+func NewBPC(bits int, bitPerm []int, complement uint64) (*BPC, error) {
+	return perms.NewBPC(bits, bitPerm, complement)
+}
+
+// HypercubeExchange returns the BPC π(i) = i ⊕ 2^bit.
+func HypercubeExchange(bits, bit int) (*BPC, error) { return perms.HypercubeExchange(bits, bit) }
+
+// BitReversal returns the bit-reversal BPC permutation.
+func BitReversal(bits int) (*BPC, error) { return perms.BitReversal(bits) }
