@@ -13,6 +13,7 @@ package pops
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"pops/internal/core"
@@ -68,12 +69,97 @@ func BenchmarkE7Theorem2VsGreedy(b *testing.B) {
 		}
 	})
 	b.Run("greedy", func(b *testing.B) {
+		greedy, err := NewGreedy(d, g)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if _, _, err := GreedyRoute(d, g, pi); err != nil {
+			if _, err := greedy.Route(pi); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
+}
+
+// BenchmarkPlannerReuse compares one-shot Route calls (network validation
+// and fresh scratch buffers every time) against a reused Planner, which
+// validates once and recycles its demand graph and invariant tables. The
+// planner side must show fewer allocs/op.
+func BenchmarkPlannerReuse(b *testing.B) {
+	for _, s := range []struct{ d, g int }{{8, 8}, {32, 32}, {16, 64}} {
+		rng := rand.New(rand.NewSource(6))
+		pi := perms.Random(s.d*s.g, rng)
+		b.Run(fmt.Sprintf("route-percall/d=%d/g=%d", s.d, s.g), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Route(s.d, s.g, pi); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("planner-reuse/d=%d/g=%d", s.d, s.g), func(b *testing.B) {
+			p, err := NewPlanner(s.d, s.g)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := p.Route(pi); err != nil { // warm the buffer free list
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := p.Route(pi); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRouteBatch plans a fixed batch of permutations per iteration:
+// once per-call through the facade Route (the pre-Planner API shape), then
+// through Planner.RouteBatch at parallelism 1, 4, and GOMAXPROCS. The batch
+// path must show fewer allocs/op than the per-call path.
+func BenchmarkRouteBatch(b *testing.B) {
+	const d, g, batch = 16, 16, 64
+	rng := rand.New(rand.NewSource(7))
+	pis := make([][]int, batch)
+	for i := range pis {
+		pis[i] = perms.Random(d*g, rng)
+	}
+	b.Run("route-percall", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, pi := range pis {
+				if _, err := Route(d, g, pi); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	parallelisms := []int{1, 4}
+	if p := runtime.GOMAXPROCS(0); p != 1 && p != 4 {
+		parallelisms = append(parallelisms, p)
+	}
+	for _, par := range parallelisms {
+		b.Run(fmt.Sprintf("batch/parallel=%d", par), func(b *testing.B) {
+			p, err := NewPlanner(d, g, WithParallelism(par))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := p.RouteBatch(pis); err != nil { // warm the free list
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := p.RouteBatch(pis); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkE10Factorize compares the three 1-factorization backends on the

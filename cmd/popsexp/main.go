@@ -21,7 +21,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("e", "all", "experiment to run: E1..E15, F, or all")
+		exp      = flag.String("e", "all", "experiment to run: E1..E16, F, or all")
 		seed     = flag.Int64("seed", 1, "random seed for workloads")
 		trials   = flag.Int("trials", 3, "trials per configuration where applicable")
 		markdown = flag.Bool("markdown", false, "emit markdown tables instead of aligned text")
@@ -87,9 +87,11 @@ func run(exp string, seed int64, trials int) ([]*expt.Table, error) {
 		return one(expt.E14(seed))
 	case "E15":
 		return one(expt.E15(seed))
+	case "E16":
+		return one(expt.E16(seed))
 	case "F", "F1", "F2", "F1/F2":
 		return one(expt.EF())
 	default:
-		return nil, fmt.Errorf("unknown experiment %q (want E1..E15, F, or all)", exp)
+		return nil, fmt.Errorf("unknown experiment %q (want E1..E16, F, or all)", exp)
 	}
 }

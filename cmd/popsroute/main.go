@@ -1,11 +1,15 @@
-// Command popsroute plans and verifies the Theorem 2 routing of a
-// permutation on a POPS(d, g) network and prints the resulting schedule.
+// Command popsroute plans and verifies the routing of a permutation on a
+// POPS(d, g) network and prints the resulting schedule. The routing strategy
+// is pluggable: Theorem 2's universal relay router (default), the greedy and
+// optimal direct baselines, the Gravenstreter–Melhem single-slot router, or
+// "auto", which picks the cheapest applicable strategy per permutation.
 //
 // Usage:
 //
 //	popsroute -d 3 -g 3 -perm 4,8,3,6,0,2,7,1,5   # Figure 3 of the paper
 //	popsroute -d 8 -g 4 -family random -seed 7
 //	popsroute -d 4 -g 4 -family reversal -schedule
+//	popsroute -d 16 -g 4 -family transpose -strategy auto
 //	popsroute -d 3 -g 3 -topology
 package main
 
@@ -27,6 +31,8 @@ func main() {
 		g        = flag.Int("g", 3, "number of groups")
 		permSpec = flag.String("perm", "", "explicit permutation, comma-separated destinations")
 		family   = flag.String("family", "", "named family: random | derangement | reversal | rotation | transpose | identity")
+		strategy = flag.String("strategy", pops.StrategyTheoremTwo,
+			fmt.Sprintf("routing strategy: %s", strings.Join(pops.Strategies(), " | ")))
 		seed     = flag.Int64("seed", 1, "seed for random families")
 		topology = flag.Bool("topology", false, "print network structure and exit")
 		schedule = flag.Bool("schedule", false, "print the full slot schedule")
@@ -34,13 +40,13 @@ func main() {
 	)
 	flag.Parse()
 
-	if err := run(*d, *g, *permSpec, *family, *seed, *topology, *schedule, *stats); err != nil {
+	if err := run(*d, *g, *permSpec, *family, *strategy, *seed, *topology, *schedule, *stats); err != nil {
 		fmt.Fprintf(os.Stderr, "popsroute: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(d, g int, permSpec, family string, seed int64, topology, schedule, stats bool) error {
+func run(d, g int, permSpec, family, strategy string, seed int64, topology, schedule, stats bool) error {
 	nw, err := pops.NewNetwork(d, g)
 	if err != nil {
 		return err
@@ -55,13 +61,13 @@ func run(d, g int, permSpec, family string, seed int64, topology, schedule, stat
 		return err
 	}
 
-	plan, err := pops.Route(d, g, pi)
+	router, err := pops.NewRouter(strategy, d, g, pops.WithVerify(true))
 	if err != nil {
 		return err
 	}
-	tr, err := plan.Verify()
+	plan, err := router.Route(pi)
 	if err != nil {
-		return fmt.Errorf("schedule failed simulation: %w", err)
+		return err
 	}
 
 	fmt.Printf("%v: n=%d processors, %d couplers\n", nw, nw.N(), nw.Couplers())
@@ -70,19 +76,24 @@ func run(d, g int, permSpec, family string, seed int64, topology, schedule, stat
 	if err != nil {
 		return err
 	}
-	fmt.Printf("slots used: %d (Theorem 2 bound: %d, lower bound: %d via %s)\n",
-		plan.SlotCount(), pops.OptimalSlots(d, g), lb, prop)
-	oneSlot, err := pops.IsOneSlotRoutable(d, g, pi)
+	fmt.Printf("strategy %s: %d slots (Theorem 2 bound: %d, lower bound: %d via %s)\n",
+		plan.Strategy, plan.SlotCount(), pops.OptimalSlots(d, g), lb, prop)
+
+	fmt.Println("strategy comparison (predicted slots):")
+	routers, err := pops.AllRouters(d, g)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("single-slot routable (Gravenstreter–Melhem): %v\n", oneSlot)
-	_, greedySlots, err := pops.GreedyRoute(d, g, pi)
-	if err != nil {
-		return err
+	for _, r := range routers {
+		predicted, err := r.PredictedSlots(pi)
+		if err != nil {
+			fmt.Printf("  %-14s n/a (%v)\n", r.Name(), err)
+			continue
+		}
+		fmt.Printf("  %-14s %d slots\n", r.Name(), predicted)
 	}
-	fmt.Printf("greedy direct baseline: %d slots\n", greedySlots)
-	if d > 1 {
+
+	if plan.Colors != nil {
 		fmt.Println("relay assignment (packet: intermediate group @ round):")
 		for p := 0; p < nw.N(); p++ {
 			fmt.Printf("  packet %3d -> proc %3d   via group %d round %d\n",
@@ -99,7 +110,6 @@ func run(d, g int, permSpec, family string, seed int64, topology, schedule, stat
 		fmt.Printf("schedule stats: %d slots, %d sends, %d recvs, %d/%d coupler-slots used (utilization %.2f)\n",
 			st.Slots, st.Sends, st.Recvs, st.CouplersUsed, st.Slots*st.MaxCouplers, st.Utilization)
 	}
-	_ = tr
 	return nil
 }
 

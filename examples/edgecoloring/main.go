@@ -8,7 +8,7 @@ import (
 	"fmt"
 	"log"
 
-	"pops/internal/edgecolor"
+	"pops"
 	"pops/internal/fairdist"
 )
 
@@ -32,8 +32,8 @@ func main() {
 	fmt.Printf("proper: %v (every group appears Δ1 = %d times; n2 = %d divides n1·Δ1 = %d)\n\n",
 		proper, ls.Delta1(), ls.NTargets, ls.NSources*ls.Delta1())
 
-	for _, algo := range []edgecolor.Algorithm{
-		edgecolor.RepeatedMatching, edgecolor.EulerSplitDC, edgecolor.Insertion,
+	for _, algo := range []pops.Algorithm{
+		pops.RepeatedMatching, pops.EulerSplitDC, pops.Insertion,
 	} {
 		f, err := ls.FairDistribution(algo)
 		if err != nil {

@@ -26,7 +26,9 @@ func main() {
 		}
 	}
 
-	plan, err := pops.RouteHRelation(d, g, reqs)
+	// The h factors route independently; WithParallelism bounds the worker
+	// pool that plans them, WithVerify replays the full schedule.
+	plan, err := pops.RouteHRelation(d, g, reqs, pops.WithParallelism(2), pops.WithVerify(true))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -11,7 +11,6 @@ import (
 	"math/rand"
 
 	"pops"
-	"pops/internal/core"
 	"pops/internal/hypercube"
 	"pops/internal/perms"
 )
@@ -44,7 +43,7 @@ func main() {
 
 	var want []int64
 	for _, mp := range mappings {
-		m, err := hypercube.New(bits, d, g, mp.m, core.Options{})
+		m, err := hypercube.New(bits, d, g, mp.m, pops.NewOptions(pops.WithAlgorithm(pops.EulerSplitDC)))
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -9,7 +9,7 @@ import (
 	"fmt"
 	"log"
 
-	"pops/internal/core"
+	"pops"
 	"pops/internal/mesh"
 )
 
@@ -20,7 +20,7 @@ const (
 )
 
 func main() {
-	m, err := mesh.New(rows, cols, d, g, nil, core.Options{})
+	m, err := mesh.New(rows, cols, d, g, nil, pops.NewOptions())
 	if err != nil {
 		log.Fatal(err)
 	}

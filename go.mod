@@ -1,0 +1,3 @@
+module pops
+
+go 1.24

@@ -22,14 +22,19 @@
 // processors. These are precisely invariants (4)–(7) of the paper, and the
 // per-packet colors are exactly a fair distribution of the list system
 // L(h, i) = group(π(i + h·d)).
+//
+// Plans are produced either one-shot (PlanRoute) or through a reusable
+// Planner that validates the network once and recycles its internal demand
+// graph and scratch buffers across calls — the building block of the public
+// batch API.
 package core
 
 import (
 	"fmt"
+	"runtime"
 
 	"pops/internal/edgecolor"
 	"pops/internal/fairdist"
-	"pops/internal/graph"
 	"pops/internal/perms"
 	"pops/internal/popsnet"
 )
@@ -39,16 +44,62 @@ type Options struct {
 	// Algorithm selects the edge-coloring backend. The default,
 	// EulerSplitDC, is the near-linear divide-and-conquer variant.
 	Algorithm edgecolor.Algorithm
+	// Verify replays every produced schedule on the slot-level simulator
+	// before returning it; a simulation failure becomes a planning error.
+	Verify bool
+	// Parallelism bounds the worker pool of batch operations (the public
+	// Planner's RouteBatch and hrelation factor routing). Zero or negative
+	// means "pick a default" (GOMAXPROCS); a single planner call ignores it.
+	Parallelism int
 }
 
-// Plan is a verified-constructible routing plan for one permutation.
+// Workers resolves the Parallelism option to a concrete worker count: the
+// option itself when positive, GOMAXPROCS otherwise. Every batch layer
+// (Planner.RouteBatch, hrelation factor routing) sizes its pool with this.
+func (o Options) Workers() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Canonical names of the routing strategies that can produce a Plan. They
+// appear in Plan.Strategy and in the public Router implementations.
+const (
+	StrategyTheoremTwo    = "theorem2"
+	StrategyGreedy        = "greedy"
+	StrategyDirectOptimal = "direct-optimal"
+	StrategySingleSlot    = "singleslot"
+	StrategyAuto          = "auto"
+)
+
+// Plan is a verified-constructible routing plan for one permutation. It is
+// the unified result type of every routing strategy: the Theorem 2 relay
+// router fills Colors/Rounds, while direct strategies (greedy, direct
+// optimal, single slot) carry only the schedule. Strategy records which
+// router produced the plan.
 type Plan struct {
-	Net    popsnet.Network
-	Pi     []int
-	Colors []int // per-packet relay color; nil when d == 1 (direct routing)
-	Rounds int   // ⌈d/g⌉ for d > 1, 0 for d = 1
+	Net      popsnet.Network
+	Pi       []int
+	Strategy string
+	Colors   []int // per-packet relay color; nil for direct (relay-free) plans
+	Rounds   int   // ⌈d/g⌉ for relayed plans, 0 for direct ones
 
 	sched *popsnet.Schedule
+}
+
+// FromSchedule wraps an already-built schedule as a Plan, recording the
+// strategy that produced it. It is how the non-Theorem 2 routers (greedy,
+// direct optimal, single slot) adopt the unified result type. pi is copied:
+// a Plan owns all memory it references, so callers may reuse their slice.
+func FromSchedule(nw popsnet.Network, pi []int, sched *popsnet.Schedule, strategy string) *Plan {
+	return &Plan{Net: nw, Pi: copyPerm(pi), Strategy: strategy, sched: sched}
+}
+
+// copyPerm snapshots a caller-provided permutation so Plans never alias
+// mutable caller memory (batch services routinely reuse request buffers).
+func copyPerm(pi []int) []int {
+	return append(make([]int, 0, len(pi)), pi...)
 }
 
 // OptimalSlots returns the slot count of Theorem 2: 1 when d = 1, and
@@ -63,32 +114,15 @@ func OptimalSlots(d, g int) int {
 func ceilDiv(a, b int) int { return (a + b - 1) / b }
 
 // PlanRoute computes the Theorem 2 routing of permutation pi on POPS(d, g).
-// The returned plan's schedule uses exactly OptimalSlots(d, g) slots.
+// The returned plan's schedule uses exactly OptimalSlots(d, g) slots. For
+// routing many permutations on one network shape, prefer a Planner, which
+// amortizes validation and scratch allocations across calls.
 func PlanRoute(d, g int, pi []int, opts Options) (*Plan, error) {
-	nw, err := popsnet.NewNetwork(d, g)
+	pl, err := NewPlanner(d, g, opts)
 	if err != nil {
 		return nil, err
 	}
-	if err := perms.Validate(pi); err != nil {
-		return nil, fmt.Errorf("core: %w", err)
-	}
-	if len(pi) != nw.N() {
-		return nil, fmt.Errorf("core: permutation has length %d, want n = %d", len(pi), nw.N())
-	}
-
-	if d == 1 {
-		sched, err := directSchedule(nw, pi)
-		if err != nil {
-			return nil, err
-		}
-		return &Plan{Net: nw, Pi: pi, sched: sched}, nil
-	}
-
-	colors, err := relayColors(nw, pi, opts.Algorithm)
-	if err != nil {
-		return nil, err
-	}
-	return planFromColors(nw, pi, colors)
+	return pl.Plan(pi)
 }
 
 // PlanRouteViaListSystem computes the same routing through the paper's
@@ -108,54 +142,50 @@ func PlanRouteViaListSystem(d, g int, pi []int, opts Options) (*Plan, error) {
 	if len(pi) != nw.N() {
 		return nil, fmt.Errorf("core: permutation has length %d, want n = %d", len(pi), nw.N())
 	}
+	var plan *Plan
 	if d == 1 {
 		sched, err := directSchedule(nw, pi)
 		if err != nil {
 			return nil, err
 		}
-		return &Plan{Net: nw, Pi: pi, sched: sched}, nil
-	}
-	ls, err := fairdist.FromPermutation(d, g, pi)
-	if err != nil {
-		return nil, err
-	}
-	f, err := ls.FairDistribution(opts.Algorithm)
-	if err != nil {
-		return nil, fmt.Errorf("core: fair distribution: %w", err)
-	}
-	colors := make([]int, nw.N())
-	for h := 0; h < g; h++ {
-		for i := 0; i < d; i++ {
-			colors[i+h*d] = f[h][i]
+		plan = &Plan{Net: nw, Pi: copyPerm(pi), Strategy: StrategyTheoremTwo, sched: sched}
+	} else {
+		ls, err := fairdist.FromPermutation(d, g, pi)
+		if err != nil {
+			return nil, err
+		}
+		f, err := ls.FairDistribution(opts.Algorithm)
+		if err != nil {
+			return nil, fmt.Errorf("core: fair distribution: %w", err)
+		}
+		colors := make([]int, nw.N())
+		for h := 0; h < g; h++ {
+			for i := 0; i < d; i++ {
+				colors[i+h*d] = f[h][i]
+			}
+		}
+		plan, err = planFromColors(nw, pi, colors)
+		if err != nil {
+			return nil, err
 		}
 	}
-	return planFromColors(nw, pi, colors)
-}
-
-// relayColors builds the demand multigraph and colors it with max(d, g)
-// colors of exact class size min(d, g).
-func relayColors(nw popsnet.Network, pi []int, algo edgecolor.Algorithm) ([]int, error) {
-	d, g := nw.D, nw.G
-	demand := graph.New(g, g)
-	for p := 0; p < nw.N(); p++ {
-		demand.AddEdge(nw.Group(p), nw.Group(pi[p]))
+	if opts.Verify {
+		if _, err := plan.Verify(); err != nil {
+			return nil, fmt.Errorf("core: schedule failed verification: %w", err)
+		}
 	}
-	colorCount := d
-	if g > d {
-		colorCount = g
-	}
-	colors, err := edgecolor.Balanced(demand, colorCount, algo)
-	if err != nil {
-		return nil, fmt.Errorf("core: coloring demand graph: %w", err)
-	}
-	return colors, nil
+	return plan, nil
 }
 
 // directSchedule is the d = 1 case: the network is a clique of couplers and
 // one slot suffices (each processor is its own group).
 func directSchedule(nw popsnet.Network, pi []int) (*popsnet.Schedule, error) {
-	slot := popsnet.Slot{}
-	for p := 0; p < nw.N(); p++ {
+	n := nw.N()
+	slot := popsnet.Slot{
+		Sends: make([]popsnet.Send, 0, n),
+		Recvs: make([]popsnet.Recv, 0, n),
+	}
+	for p := 0; p < n; p++ {
 		slot.Sends = append(slot.Sends, popsnet.Send{Src: p, DestGroup: pi[p], Packet: p})
 		slot.Recvs = append(slot.Recvs, popsnet.Recv{Proc: pi[p], SrcGroup: p})
 	}
@@ -163,93 +193,13 @@ func directSchedule(nw popsnet.Network, pi []int) (*popsnet.Schedule, error) {
 }
 
 // planFromColors turns per-packet relay colors into the two-slot-per-round
-// schedule and sanity-checks the fair-distribution invariants on the way.
+// schedule, sanity-checking the fair-distribution invariants on the way. It
+// is the one-shot form of (*Planner).buildPlan; callers reach it only for
+// d > 1, with pi already validated, so just the build scratch is allocated.
 func planFromColors(nw popsnet.Network, pi, colors []int) (*Plan, error) {
-	d, g := nw.D, nw.G
-	colorCount := d
-	if g > d {
-		colorCount = g
-	}
-	rounds := ceilDiv(colorCount, g)
-
-	if err := checkFairInvariants(nw, pi, colors, colorCount); err != nil {
-		return nil, err
-	}
-
-	sched := &popsnet.Schedule{Net: nw}
-	for k := 0; k < rounds; k++ {
-		lo, hi := k*g, (k+1)*g
-		if hi > colorCount {
-			hi = colorCount
-		}
-		// Packets of this round, grouped by intermediate group j = c mod g.
-		byInter := make([][]int, g) // j -> packets, in source order
-		for p := 0; p < nw.N(); p++ {
-			if c := colors[p]; c >= lo && c < hi {
-				byInter[c%g] = append(byInter[c%g], p)
-			}
-		}
-		slot1 := popsnet.Slot{}
-		slot2 := popsnet.Slot{}
-		for j := 0; j < g; j++ {
-			// Arrivals at group j come from distinct source groups (the
-			// coloring is proper at source nodes), and packet order is by
-			// processor index, hence by source group: the rank assignment
-			// below gives each arrival a distinct relay processor.
-			for rank, p := range byInter[j] {
-				src := p
-				relay := nw.Proc(j, rank)
-				dest := pi[p]
-				slot1.Sends = append(slot1.Sends, popsnet.Send{Src: src, DestGroup: j, Packet: p})
-				slot1.Recvs = append(slot1.Recvs, popsnet.Recv{Proc: relay, SrcGroup: nw.Group(src)})
-				slot2.Sends = append(slot2.Sends, popsnet.Send{Src: relay, DestGroup: nw.Group(dest), Packet: p})
-				slot2.Recvs = append(slot2.Recvs, popsnet.Recv{Proc: dest, SrcGroup: j})
-			}
-		}
-		sched.Slots = append(sched.Slots, slot1, slot2)
-	}
-
-	return &Plan{Net: nw, Pi: pi, Colors: colors, Rounds: rounds, sched: sched}, nil
-}
-
-// checkFairInvariants re-verifies equations (4)–(7) of the paper on the
-// computed colors before a schedule is emitted. A violation indicates a bug
-// in the coloring layer and is reported rather than silently producing a
-// conflicting schedule.
-func checkFairInvariants(nw popsnet.Network, pi, colors []int, colorCount int) error {
-	d, g := nw.D, nw.G
-	if len(colors) != nw.N() {
-		return fmt.Errorf("core: %d colors for %d packets", len(colors), nw.N())
-	}
-	classSize := make([]int, colorCount)
-	perSource := make(map[[2]int]bool)
-	perDest := make(map[[2]int]bool)
-	for p, c := range colors {
-		if c < 0 || c >= colorCount {
-			return fmt.Errorf("core: packet %d has color %d outside [0,%d)", p, c, colorCount)
-		}
-		classSize[c]++
-		sk := [2]int{nw.Group(p), c}
-		if perSource[sk] {
-			return fmt.Errorf("core: eq (4) violated: source group %d repeats color %d", sk[0], c)
-		}
-		perSource[sk] = true
-		dk := [2]int{nw.Group(pi[p]), c}
-		if perDest[dk] {
-			return fmt.Errorf("core: eq (6) violated: destination group %d repeats color %d", dk[0], c)
-		}
-		perDest[dk] = true
-	}
-	want := d
-	if g < d {
-		want = g
-	}
-	for c, size := range classSize {
-		if size != want {
-			return fmt.Errorf("core: eq (5)/(7) violated: color %d has %d packets, want %d", c, size, want)
-		}
-	}
-	return nil
+	pl := &Planner{nw: nw}
+	pl.initBuildScratch()
+	return pl.buildPlan(pi, colors)
 }
 
 // Schedule returns the plan's slot schedule.
@@ -265,7 +215,7 @@ func (p *Plan) Verify() (*popsnet.Trace, error) {
 }
 
 // IntermediateGroup returns the relay group of packet p in the plan, or -1
-// for direct (d = 1) plans.
+// for direct (relay-free) plans.
 func (p *Plan) IntermediateGroup(packet int) int {
 	if p.Colors == nil {
 		return -1

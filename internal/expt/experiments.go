@@ -4,12 +4,11 @@ import (
 	"fmt"
 	"math/rand"
 
+	"pops"
 	"pops/internal/bounds"
 	"pops/internal/core"
-	"pops/internal/greedy"
 	"pops/internal/perms"
 	"pops/internal/popsnet"
-	"pops/internal/singleslot"
 )
 
 // Figure3Perm is the permutation of Figure 3 of the paper on POPS(3,3).
@@ -240,7 +239,8 @@ func E6() (*Table, error) {
 
 // E7 compares the Theorem 2 router against the greedy direct baseline and
 // the single-slot characterization, on random, adversarial, and reversal
-// workloads.
+// workloads. The strategies run through the public Router interface with
+// WithVerify, so every schedule in the table replayed on the simulator.
 func E7(seed int64) (*Table, error) {
 	t := &Table{
 		ID:      "E7",
@@ -265,26 +265,29 @@ func E7(seed int64) (*Table, error) {
 		wls = append(wls, wl{"reversal", s.d, s.g, perms.VectorReversal(n)})
 	}
 	for _, w := range wls {
-		p, err := core.PlanRoute(w.d, w.g, w.pi, core.Options{})
+		theorem, err := pops.NewTheoremTwo(w.d, w.g, pops.WithVerify(true))
 		if err != nil {
 			return nil, err
 		}
-		if _, err := p.Verify(); err != nil {
-			return nil, err
-		}
-		gr, err := greedy.Route(w.d, w.g, w.pi)
+		p, err := theorem.Route(w.pi)
 		if err != nil {
 			return nil, err
 		}
-		if _, err := popsnet.VerifyPermutationRouted(gr.Schedule, w.pi); err != nil {
-			return nil, err
-		}
-		oneSlot, err := singleslot.IsRoutable(w.d, w.g, w.pi)
+		gr, err := pops.NewGreedy(w.d, w.g, pops.WithVerify(true))
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(w.name, w.d, w.g, p.SlotCount(), gr.Slots,
-			float64(gr.Slots)/float64(p.SlotCount()), oneSlot)
+		gp, err := gr.Route(w.pi)
+		if err != nil {
+			return nil, err
+		}
+		ss, err := pops.NewSingleSlot(w.d, w.g)
+		if err != nil {
+			return nil, err
+		}
+		_, ssErr := ss.PredictedSlots(w.pi)
+		t.AddRow(w.name, w.d, w.g, p.SlotCount(), gp.SlotCount(),
+			float64(gp.SlotCount())/float64(p.SlotCount()), ssErr == nil)
 	}
 	t.Notes = append(t.Notes, "group-rotation serializes greedy on one coupler: d slots vs 2⌈d/g⌉")
 	return t, nil

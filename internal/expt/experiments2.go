@@ -428,6 +428,9 @@ func All(seed int64) ([]*Table, error) {
 	if err := add(E15(seed)); err != nil {
 		return nil, err
 	}
+	if err := add(E16(seed)); err != nil {
+		return nil, err
+	}
 	if err := add(EF()); err != nil {
 		return nil, err
 	}

@@ -135,6 +135,29 @@ func TestEF(t *testing.T) {
 	}
 }
 
+func TestE16RouterTable(t *testing.T) {
+	tab, err := E16(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		switch row[0] {
+		case "staircase":
+			if row[8] != "singleslot" {
+				t.Fatalf("E16 auto picked %s for staircase, want singleslot: %v", row[8], row)
+			}
+		case "transpose":
+			if row[8] != "direct-optimal" {
+				t.Fatalf("E16 auto picked %s for transpose, want direct-optimal: %v", row[8], row)
+			}
+		case "group-rotation":
+			if row[8] != "theorem2" {
+				t.Fatalf("E16 auto picked %s for group-rotation, want theorem2: %v", row[8], row)
+			}
+		}
+	}
+}
+
 func TestRenderFormats(t *testing.T) {
 	tab := &Table{
 		ID:      "T",
@@ -202,8 +225,8 @@ func TestAllRunsEveryExperiment(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tables) != 16 {
-		t.Fatalf("All returned %d tables, want 16", len(tables))
+	if len(tables) != 17 {
+		t.Fatalf("All returned %d tables, want 17", len(tables))
 	}
 	seen := make(map[string]bool)
 	for _, tab := range tables {

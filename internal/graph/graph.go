@@ -147,6 +147,20 @@ func (b *Bipartite) RegularDegree() (int, bool) {
 	return 0, false
 }
 
+// Reset removes every edge while keeping the node classes and the capacity
+// of the internal adjacency lists, so a graph can be refilled without
+// reallocating. Used by the planner's batch path to amortize allocations
+// across permutations.
+func (b *Bipartite) Reset() {
+	b.edges = b.edges[:0]
+	for l := range b.adjL {
+		b.adjL[l] = b.adjL[l][:0]
+	}
+	for r := range b.adjR {
+		b.adjR[r] = b.adjR[r][:0]
+	}
+}
+
 // Clone returns a deep copy of the graph. Edge IDs are preserved.
 func (b *Bipartite) Clone() *Bipartite {
 	c := New(b.nLeft, b.nRight)

@@ -48,6 +48,15 @@ func DirectOptimal(d, g int, pi []int) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	return DirectOptimalWithMu(d, g, pi, maxMult)
+}
+
+// DirectOptimalWithMu is DirectOptimal with a precomputed
+// MaxPairMultiplicity(d, g, pi) value, for callers (the Auto router) that
+// already classified the permutation and must not pay for a second counting
+// pass. maxMult must be exact: a smaller value makes the slot assignment
+// below index out of range.
+func DirectOptimalWithMu(d, g int, pi []int, maxMult int) (*Result, error) {
 	nw, err := popsnet.NewNetwork(d, g)
 	if err != nil {
 		return nil, err

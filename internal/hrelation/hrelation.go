@@ -155,7 +155,16 @@ func Route(d, g int, reqs []Request, opts core.Options) (*Plan, error) {
 
 	// Route each factor as a full permutation, relabeling the core
 	// schedule's packet ids (which are source processors) to request ids.
-	for _, factor := range factors {
+	// Factors are independent, so they run on a bounded worker pool sized by
+	// opts.Parallelism; results are assembled in factor order regardless.
+	type routed struct {
+		real  []int
+		slots []popsnet.Slot
+	}
+	results := make([]routed, len(factors))
+	errs := make([]error, len(factors))
+	routeFactor := func(pl *core.Planner, k int) {
+		factor := factors[k]
 		pi := make([]int, n)
 		reqAt := make([]int, n)
 		for _, edgeID := range factor {
@@ -163,9 +172,10 @@ func Route(d, g int, reqs []Request, opts core.Options) (*Plan, error) {
 			pi[r.Src] = r.Dst
 			reqAt[r.Src] = edgeID
 		}
-		sub, err := core.PlanRoute(d, g, pi, opts)
+		sub, err := pl.Plan(pi)
 		if err != nil {
-			return nil, fmt.Errorf("hrelation: routing factor: %w", err)
+			errs[k] = fmt.Errorf("hrelation: routing factor %d: %w", k, err)
+			return
 		}
 		real := make([]int, 0, len(factor))
 		for _, edgeID := range factor {
@@ -173,15 +183,39 @@ func Route(d, g int, reqs []Request, opts core.Options) (*Plan, error) {
 				real = append(real, edgeID)
 			}
 		}
-		plan.Factors = append(plan.Factors, real)
+		slots := make([]popsnet.Slot, 0, sub.SlotCount())
 		for _, slot := range sub.Schedule().Slots {
-			relabeled := popsnet.Slot{Recvs: slot.Recvs}
+			relabeled := popsnet.Slot{Recvs: slot.Recvs, Sends: make([]popsnet.Send, 0, len(slot.Sends))}
 			for _, snd := range slot.Sends {
 				// In the core schedule, packet ids equal source processors.
 				snd.Packet = reqAt[snd.Packet]
 				relabeled.Sends = append(relabeled.Sends, snd)
 			}
-			plan.sched.Slots = append(plan.sched.Slots, relabeled)
+			slots = append(slots, relabeled)
+		}
+		results[k] = routed{real: real, slots: slots}
+	}
+
+	// Per-factor verification is redundant inside an h-relation (the final
+	// plan is verified as a whole below), so workers plan without it.
+	subOpts := opts
+	subOpts.Verify = false
+	core.ForEach(opts.Workers(), len(factors),
+		func() *core.Planner { return core.NewPlannerFor(nw, subOpts) },
+		func(*core.Planner) {},
+		routeFactor)
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	for k := range results {
+		plan.Factors = append(plan.Factors, results[k].real)
+		plan.sched.Slots = append(plan.sched.Slots, results[k].slots...)
+	}
+	if opts.Verify {
+		if _, err := plan.Verify(); err != nil {
+			return nil, fmt.Errorf("hrelation: schedule failed verification: %w", err)
 		}
 	}
 	return plan, nil

@@ -14,7 +14,17 @@ import (
 
 // Validate checks that pi is a permutation of {0, …, len(pi)−1}.
 func Validate(pi []int) error {
-	seen := make([]bool, len(pi))
+	return ValidateInto(pi, make([]bool, len(pi)))
+}
+
+// ValidateInto is Validate with a caller-provided scratch slice, so repeated
+// validations (the planner's batch path) need not allocate. seen must have
+// length at least len(pi); its first len(pi) entries are overwritten.
+func ValidateInto(pi []int, seen []bool) error {
+	seen = seen[:len(pi)]
+	for i := range seen {
+		seen[i] = false
+	}
 	for i, v := range pi {
 		if v < 0 || v >= len(pi) {
 			return fmt.Errorf("perms: π(%d) = %d outside [0,%d)", i, v, len(pi))
@@ -118,6 +128,20 @@ func Transpose(r, c int) []int {
 	for i := 0; i < r; i++ {
 		for j := 0; j < c; j++ {
 			pi[i*c+j] = j*r + i
+		}
+	}
+	return pi
+}
+
+// Staircase returns the single-slot-routable permutation on POPS(d, g) that
+// sends packet i of group h to processor i of group (h+i) mod g (needs
+// d ≤ g): every (source group, destination group) coupler carries at most
+// one packet.
+func Staircase(d, g int) []int {
+	pi := make([]int, d*g)
+	for h := 0; h < g; h++ {
+		for i := 0; i < d; i++ {
+			pi[h*d+i] = ((h+i)%g)*d + i
 		}
 	}
 	return pi

@@ -48,6 +48,14 @@ func Route(d, g int, pi []int) (*popsnet.Schedule, error) {
 	if !ok {
 		return nil, fmt.Errorf("singleslot: permutation is not single-slot routable on POPS(%d,%d)", d, g)
 	}
+	return RouteRoutable(d, g, pi)
+}
+
+// RouteRoutable builds the one-slot schedule for a permutation the caller
+// has already checked with IsRoutable, skipping the re-check. The Auto
+// router uses it after classifying the permutation once; the final
+// DirectSlot construction still rejects any residual conflict.
+func RouteRoutable(d, g int, pi []int) (*popsnet.Schedule, error) {
 	nw, err := popsnet.NewNetwork(d, g)
 	if err != nil {
 		return nil, err

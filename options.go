@@ -1,0 +1,39 @@
+package pops
+
+// Option is a functional option configuring routers and planners. Options
+// apply to the shared Options struct that is threaded down into the planning
+// layers (internal/core, internal/hrelation).
+type Option func(*Options)
+
+// WithAlgorithm selects the bipartite edge-coloring backend used by the
+// Theorem 2 planner (the computational bottleneck named in Remark 1 of the
+// paper). The default is EulerSplitDC.
+func WithAlgorithm(a Algorithm) Option {
+	return func(o *Options) { o.Algorithm = a }
+}
+
+// WithVerify makes every produced schedule get replayed on the slot-level
+// simulator before it is returned; a simulation failure becomes a planning
+// error. Off by default: the construction is proven correct, and planners
+// re-check the paper's fair-distribution invariants in any case.
+func WithVerify(v bool) Option {
+	return func(o *Options) { o.Verify = v }
+}
+
+// WithParallelism bounds the worker pools of batch operations: the Planner's
+// RouteBatch and the per-factor routing of h-relations. n < 1 selects the
+// default, GOMAXPROCS. Single-permutation planning is unaffected.
+func WithParallelism(n int) Option {
+	return func(o *Options) { o.Parallelism = n }
+}
+
+// NewOptions resolves functional options into the Options struct accepted by
+// the lower-level constructors (mesh.New, hypercube.New, matmul.Multiply and
+// the internal planners).
+func NewOptions(opts ...Option) Options {
+	var o Options
+	for _, apply := range opts {
+		apply(&o)
+	}
+	return o
+}

@@ -1,0 +1,88 @@
+package pops
+
+import (
+	"fmt"
+
+	"pops/internal/core"
+)
+
+// Planner is the batch-friendly entry point for planning many permutations
+// on one POPS(d, g) network: the network shape is validated once, and the
+// internal demand-graph and invariant-check buffers of the Theorem 2 planner
+// are recycled across calls instead of reallocated per permutation. It is
+// what a routing service should hold per network shape.
+//
+// A Planner is safe for concurrent use: it keeps a free list of per-worker
+// core planners (bounded by WithParallelism), so concurrent Route calls and
+// RouteBatch workers never share scratch memory.
+type Planner struct {
+	nw   Network
+	opts Options
+	par  int
+	free chan *core.Planner
+}
+
+// NewPlanner validates the POPS(d, g) shape once and returns a Planner for
+// it. WithParallelism bounds the worker pool of RouteBatch and the size of
+// the internal buffer free list; the default is GOMAXPROCS.
+func NewPlanner(d, g int, opts ...Option) (*Planner, error) {
+	nw, err := NewNetwork(d, g)
+	if err != nil {
+		return nil, err
+	}
+	o := NewOptions(opts...)
+	par := o.Workers()
+	return &Planner{nw: nw, opts: o, par: par, free: make(chan *core.Planner, par)}, nil
+}
+
+// Network returns the planner's POPS(d, g) shape.
+func (p *Planner) Network() Network { return p.nw }
+
+func (p *Planner) acquire() *core.Planner {
+	select {
+	case pl := <-p.free:
+		return pl
+	default:
+		return core.NewPlannerFor(p.nw, p.opts)
+	}
+}
+
+func (p *Planner) release(pl *core.Planner) {
+	select {
+	case p.free <- pl:
+	default: // free list full; let the extra planner be collected
+	}
+}
+
+// Route plans the Theorem 2 routing of pi, reusing the planner's internal
+// buffers. The returned Plan owns its memory and stays valid across
+// subsequent calls.
+func (p *Planner) Route(pi []int) (*Plan, error) {
+	pl := p.acquire()
+	defer p.release(pl)
+	return pl.Plan(pi)
+}
+
+// PredictedSlots returns the slot count every Route call on this planner
+// will use: OptimalSlots(d, g), independent of the permutation.
+func (p *Planner) PredictedSlots() int { return OptimalSlots(p.nw.D, p.nw.G) }
+
+// RouteBatch plans every permutation of pis on a bounded worker pool
+// (WithParallelism workers) and returns the plans in input order. Results
+// are identical to calling Route sequentially on each permutation: workers
+// only amortize allocations, they do not change the construction. All
+// entries are planned even when some fail; if any did, RouteBatch returns
+// nil plans and the error of the lowest-index failing permutation.
+func (p *Planner) RouteBatch(pis [][]int) ([]*Plan, error) {
+	plans := make([]*Plan, len(pis))
+	errs := make([]error, len(pis))
+	core.ForEach(p.par, len(pis), p.acquire, p.release, func(pl *core.Planner, i int) {
+		plans[i], errs[i] = pl.Plan(pis[i])
+	})
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("pops: batch permutation %d: %w", i, err)
+		}
+	}
+	return plans, nil
+}

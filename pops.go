@@ -15,12 +15,28 @@
 //	// plan.SlotCount() == 2 == pops.OptimalSlots(8, 8)
 //	trace, err := plan.Verify()      // replay on the slot-level simulator
 //
-// The facade re-exports the building blocks: the slot-level network
-// simulator (Network, Schedule, Run), the Theorem 1 machinery (fair
+// Every routing strategy — Theorem 2 (TheoremTwo), the greedy and optimal
+// direct baselines (Greedy, DirectOptimal), the Gravenstreter–Melhem
+// single-slot router (SingleSlot), and the per-permutation strategy selector
+// (Auto) — implements the Router interface and returns the unified *Plan,
+// whose Strategy field records the producer:
+//
+//	r, err := pops.NewAuto(8, 8)
+//	plan, err := r.Route(pi) // plan.Strategy == "singleslot" | "direct-optimal" | "theorem2"
+//
+// Behavior is configured with functional options (WithAlgorithm, WithVerify,
+// WithParallelism). For planning streams of permutations, Planner validates
+// the network once and reuses internal buffers across calls:
+//
+//	p, err := pops.NewPlanner(8, 8, pops.WithParallelism(4))
+//	plans, err := p.RouteBatch(pis) // order-stable, bounded worker pool
+//
+// The facade additionally re-exports the building blocks: the slot-level
+// network simulator (Network, Schedule, Run), the Theorem 1 machinery (fair
 // distributions via balanced bipartite edge coloring), permutation families
 // from the related literature (BPC, mesh shifts, hypercube exchanges,
-// reversal, transpose), the lower bounds of Propositions 1–3, and the
-// baselines the paper compares against.
+// reversal, transpose), the lower bounds of Propositions 1–3, and
+// h-relation routing built on repeated Theorem 2.
 package pops
 
 import (
@@ -29,7 +45,6 @@ import (
 	"pops/internal/bounds"
 	"pops/internal/core"
 	"pops/internal/edgecolor"
-	"pops/internal/greedy"
 	"pops/internal/hrelation"
 	"pops/internal/perms"
 	"pops/internal/popsnet"
@@ -69,14 +84,17 @@ type Trace = popsnet.Trace
 // NewNetwork validates a POPS(d, g) shape.
 func NewNetwork(d, g int) (Network, error) { return popsnet.NewNetwork(d, g) }
 
-// Route plans the Theorem 2 routing of pi on POPS(d, g) with default
-// options. The schedule uses exactly OptimalSlots(d, g) slots and can be
-// replayed with plan.Verify.
-func Route(d, g int, pi []int) (*Plan, error) {
-	return core.PlanRoute(d, g, pi, Options{})
+// Route plans the Theorem 2 routing of pi on POPS(d, g). The schedule uses
+// exactly OptimalSlots(d, g) slots and can be replayed with plan.Verify.
+// Behavior is tuned with functional options (WithAlgorithm, WithVerify).
+// For planning many permutations on one shape, prefer a Planner.
+func Route(d, g int, pi []int, opts ...Option) (*Plan, error) {
+	return core.PlanRoute(d, g, pi, NewOptions(opts...))
 }
 
-// RouteWith is Route with explicit options.
+// RouteWith is Route with an explicit options struct.
+//
+// Deprecated: use Route with functional options (WithAlgorithm, WithVerify).
 func RouteWith(d, g int, pi []int, opts Options) (*Plan, error) {
 	return core.PlanRoute(d, g, pi, opts)
 }
@@ -106,24 +124,34 @@ func OneToAll(nw Network, speaker int) (*Schedule, error) {
 
 // GreedyRoute runs the direct-routing baseline (no relays, maximal
 // conflict-free packing per slot) and returns its schedule and slot count.
+//
+// Deprecated: use NewGreedy, whose Route returns the unified *Plan.
 func GreedyRoute(d, g int, pi []int) (*Schedule, int, error) {
-	res, err := greedy.Route(d, g, pi)
-	if err != nil {
-		return nil, 0, err
-	}
-	return res.Schedule, res.Slots, nil
+	return routeViaRouter(StrategyGreedy, d, g, pi)
 }
 
 // DirectOptimalRoute routes pi with direct (relay-free) transfers in the
 // minimum number of slots any direct router can achieve: the maximum
 // multiplicity of a (source group, destination group) pair. It recovers
 // specialized results like Sahni's ⌈d/g⌉-slot matrix transpose.
+//
+// Deprecated: use NewDirectOptimal, whose Route returns the unified *Plan.
 func DirectOptimalRoute(d, g int, pi []int) (*Schedule, int, error) {
-	res, err := greedy.DirectOptimal(d, g, pi)
+	return routeViaRouter(StrategyDirectOptimal, d, g, pi)
+}
+
+// routeViaRouter adapts the Router surface to the legacy (schedule, slots)
+// return shape of the deprecated free functions.
+func routeViaRouter(strategy string, d, g int, pi []int) (*Schedule, int, error) {
+	r, err := NewRouter(strategy, d, g)
 	if err != nil {
 		return nil, 0, err
 	}
-	return res.Schedule, res.Slots, nil
+	plan, err := r.Route(pi)
+	if err != nil {
+		return nil, 0, err
+	}
+	return plan.Schedule(), plan.SlotCount(), nil
 }
 
 // IsOneSlotRoutable reports the Gravenstreter–Melhem characterization:
@@ -134,8 +162,18 @@ func IsOneSlotRoutable(d, g int, pi []int) (bool, error) {
 
 // OneSlotRoute builds the single-slot schedule for a permutation satisfying
 // IsOneSlotRoutable.
+//
+// Deprecated: use NewSingleSlot, whose Route returns the unified *Plan.
 func OneSlotRoute(d, g int, pi []int) (*Schedule, error) {
-	return singleslot.Route(d, g, pi)
+	r, err := NewSingleSlot(d, g)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := r.Route(pi)
+	if err != nil {
+		return nil, err
+	}
+	return plan.Schedule(), nil
 }
 
 // Request is one packet demand of an h-relation: move a packet from Src to
@@ -148,9 +186,10 @@ type HRelationPlan = hrelation.Plan
 
 // RouteHRelation generalizes Route to h-relations: the request multigraph is
 // decomposed into h permutations (König), each routed by Theorem 2, for
-// h·OptimalSlots(d, g) slots in total.
-func RouteHRelation(d, g int, reqs []Request) (*HRelationPlan, error) {
-	return hrelation.Route(d, g, reqs, Options{})
+// h·OptimalSlots(d, g) slots in total. The per-factor routings run on a
+// bounded worker pool sized by WithParallelism.
+func RouteHRelation(d, g int, reqs []Request, opts ...Option) (*HRelationPlan, error) {
+	return hrelation.Route(d, g, reqs, NewOptions(opts...))
 }
 
 // HRelationSlots returns the slot cost of RouteHRelation for degree h.
@@ -158,8 +197,8 @@ func HRelationSlots(d, g, h int) int { return hrelation.PredictedSlots(d, g, h) 
 
 // AllToAll routes the complete exchange (every processor sends one distinct
 // packet to every other processor) as an (n−1)-relation.
-func AllToAll(d, g int) (*HRelationPlan, error) {
-	return hrelation.AllToAll(d, g, Options{})
+func AllToAll(d, g int, opts ...Option) (*HRelationPlan, error) {
+	return hrelation.AllToAll(d, g, NewOptions(opts...))
 }
 
 // Permutation utilities and families (package perms).

@@ -24,12 +24,20 @@ func TestFacadeRouteWithAlgorithms(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	pi := RandomDerangement(24, rng)
 	for _, algo := range []Algorithm{RepeatedMatching, EulerSplitDC, Insertion} {
-		plan, err := RouteWith(4, 6, pi, Options{Algorithm: algo})
+		plan, err := Route(4, 6, pi, WithAlgorithm(algo), WithVerify(true))
 		if err != nil {
 			t.Fatalf("%v: %v", algo, err)
 		}
-		if _, err := plan.Verify(); err != nil {
+		if plan.Strategy != StrategyTheoremTwo {
+			t.Fatalf("%v: strategy = %q, want %q", algo, plan.Strategy, StrategyTheoremTwo)
+		}
+		// The deprecated struct-options entry point must agree.
+		old, err := RouteWith(4, 6, pi, Options{Algorithm: algo})
+		if err != nil {
 			t.Fatalf("%v: %v", algo, err)
+		}
+		if old.SlotCount() != plan.SlotCount() {
+			t.Fatalf("%v: RouteWith slots %d != Route slots %d", algo, old.SlotCount(), plan.SlotCount())
 		}
 	}
 }
@@ -49,12 +57,19 @@ func TestFacadeGreedyAndSingleSlot(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, slots, err := GreedyRoute(4, 4, pi)
+	greedy, err := NewGreedy(4, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if slots != 4 {
-		t.Fatalf("greedy slots = %d, want 4", slots)
+	plan, err := greedy.Route(pi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.SlotCount() != 4 {
+		t.Fatalf("greedy slots = %d, want 4", plan.SlotCount())
+	}
+	if plan.Strategy != StrategyGreedy {
+		t.Fatalf("strategy = %q, want %q", plan.Strategy, StrategyGreedy)
 	}
 	ok, err := IsOneSlotRoutable(4, 4, pi)
 	if err != nil {
@@ -62,6 +77,28 @@ func TestFacadeGreedyAndSingleSlot(t *testing.T) {
 	}
 	if ok {
 		t.Fatal("adversarial permutation claimed one-slot routable")
+	}
+	single, err := NewSingleSlot(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := single.Route(pi); err == nil {
+		t.Fatal("SingleSlot accepted unroutable permutation")
+	}
+}
+
+// TestDeprecatedWrappers keeps the legacy free functions working: they must
+// delegate to the routers and produce identical slot counts.
+func TestDeprecatedWrappers(t *testing.T) {
+	pi, err := GroupRotation(4, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, slots, err := GreedyRoute(4, 4, pi); err != nil || slots != 4 {
+		t.Fatalf("GreedyRoute = %d slots, err %v; want 4, nil", slots, err)
+	}
+	if _, slots, err := DirectOptimalRoute(4, 4, pi); err != nil || slots != 4 {
+		t.Fatalf("DirectOptimalRoute = %d slots, err %v; want 4, nil", slots, err)
 	}
 	if _, err := OneSlotRoute(4, 4, pi); err == nil {
 		t.Fatal("OneSlotRoute accepted unroutable permutation")

@@ -1,0 +1,339 @@
+package pops
+
+import (
+	"fmt"
+
+	"pops/internal/core"
+	"pops/internal/greedy"
+	"pops/internal/singleslot"
+)
+
+// Router is a permutation-routing strategy bound to one POPS(d, g) network.
+// All strategies of the paper and its related work implement it — the
+// Theorem 2 relay router, the greedy and optimal direct (relay-free)
+// baselines, the Gravenstreter–Melhem single-slot router, and the Auto
+// router that picks the cheapest applicable strategy per permutation — so
+// they can be compared, swapped, and tabulated on equal footing.
+//
+// Routers are stateless and safe for concurrent use. For high-throughput
+// planning of many permutations, use a Planner, which amortizes internal
+// allocations across calls.
+type Router interface {
+	// Name returns the canonical strategy name ("theorem2", "greedy",
+	// "direct-optimal", "singleslot", "auto").
+	Name() string
+	// PredictedSlots returns the number of slots Route would use for pi
+	// without building the schedule, or an error if the strategy does not
+	// apply to pi (e.g. SingleSlot on a non-single-slot-routable
+	// permutation).
+	PredictedSlots(pi []int) (int, error)
+	// Route plans pi. Plan.Strategy records the strategy that produced the
+	// schedule.
+	Route(pi []int) (*Plan, error)
+}
+
+// Canonical strategy names, usable with NewRouter.
+const (
+	StrategyTheoremTwo    = core.StrategyTheoremTwo
+	StrategyGreedy        = core.StrategyGreedy
+	StrategyDirectOptimal = core.StrategyDirectOptimal
+	StrategySingleSlot    = core.StrategySingleSlot
+	StrategyAuto          = core.StrategyAuto
+)
+
+// Strategies lists the canonical strategy names accepted by NewRouter, in
+// presentation order.
+func Strategies() []string {
+	return []string{StrategyTheoremTwo, StrategyGreedy, StrategyDirectOptimal, StrategySingleSlot, StrategyAuto}
+}
+
+// NewRouter builds the named routing strategy on POPS(d, g). It accepts the
+// canonical names of Strategies plus the shorthand "direct" for
+// "direct-optimal".
+func NewRouter(strategy string, d, g int, opts ...Option) (Router, error) {
+	switch strategy {
+	case StrategyTheoremTwo:
+		return NewTheoremTwo(d, g, opts...)
+	case StrategyGreedy:
+		return NewGreedy(d, g, opts...)
+	case StrategyDirectOptimal, "direct":
+		return NewDirectOptimal(d, g, opts...)
+	case StrategySingleSlot:
+		return NewSingleSlot(d, g, opts...)
+	case StrategyAuto:
+		return NewAuto(d, g, opts...)
+	default:
+		return nil, fmt.Errorf("pops: unknown routing strategy %q (want one of %v)", strategy, Strategies())
+	}
+}
+
+// AllRouters returns one Router per strategy on POPS(d, g), in the order of
+// Strategies — the strategy table used by experiments and CLIs.
+func AllRouters(d, g int, opts ...Option) ([]Router, error) {
+	names := Strategies()
+	routers := make([]Router, 0, len(names))
+	for _, name := range names {
+		r, err := NewRouter(name, d, g, opts...)
+		if err != nil {
+			return nil, err
+		}
+		routers = append(routers, r)
+	}
+	return routers, nil
+}
+
+// Compile-time checks that every strategy implements Router.
+var (
+	_ Router = (*TheoremTwo)(nil)
+	_ Router = (*Greedy)(nil)
+	_ Router = (*DirectOptimal)(nil)
+	_ Router = (*SingleSlot)(nil)
+	_ Router = (*Auto)(nil)
+)
+
+// routerBase carries the validated network and resolved options shared by
+// every strategy implementation.
+type routerBase struct {
+	nw   Network
+	opts Options
+}
+
+func newRouterBase(d, g int, opts []Option) (routerBase, error) {
+	nw, err := NewNetwork(d, g)
+	if err != nil {
+		return routerBase{}, err
+	}
+	return routerBase{nw: nw, opts: NewOptions(opts...)}, nil
+}
+
+// Network returns the router's POPS(d, g) shape.
+func (b routerBase) Network() Network { return b.nw }
+
+func (b routerBase) checkPerm(pi []int) error {
+	if len(pi) != b.nw.N() {
+		return fmt.Errorf("pops: permutation has length %d, want n = %d", len(pi), b.nw.N())
+	}
+	return ValidatePermutation(pi)
+}
+
+// finish applies the WithVerify option to plans whose construction does not
+// verify on its own (the core planner already honors Options.Verify).
+func (b routerBase) finish(plan *Plan) (*Plan, error) {
+	if b.opts.Verify {
+		if _, err := plan.Verify(); err != nil {
+			return nil, fmt.Errorf("pops: %s schedule failed verification: %w", plan.Strategy, err)
+		}
+	}
+	return plan, nil
+}
+
+// TheoremTwo is the paper's universal router: any permutation in exactly
+// OptimalSlots(d, g) slots via one round-trip through relay groups chosen by
+// balanced bipartite edge coloring.
+type TheoremTwo struct{ routerBase }
+
+// NewTheoremTwo builds the Theorem 2 router on POPS(d, g).
+func NewTheoremTwo(d, g int, opts ...Option) (*TheoremTwo, error) {
+	base, err := newRouterBase(d, g, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &TheoremTwo{base}, nil
+}
+
+// Name implements Router.
+func (r *TheoremTwo) Name() string { return StrategyTheoremTwo }
+
+// PredictedSlots implements Router: always OptimalSlots(d, g), for every
+// permutation — that is the theorem.
+func (r *TheoremTwo) PredictedSlots(pi []int) (int, error) {
+	if err := r.checkPerm(pi); err != nil {
+		return 0, err
+	}
+	return OptimalSlots(r.nw.D, r.nw.G), nil
+}
+
+// Route implements Router.
+func (r *TheoremTwo) Route(pi []int) (*Plan, error) {
+	return core.PlanRoute(r.nw.D, r.nw.G, pi, r.opts)
+}
+
+// Greedy is the direct-routing baseline: no relays, each slot packs a
+// maximal conflict-free subset of the remaining packets. Adversarial
+// permutations serialize it on a single coupler (d slots vs 2⌈d/g⌉).
+type Greedy struct{ routerBase }
+
+// NewGreedy builds the greedy direct router on POPS(d, g).
+func NewGreedy(d, g int, opts ...Option) (*Greedy, error) {
+	base, err := newRouterBase(d, g, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Greedy{base}, nil
+}
+
+// Name implements Router.
+func (r *Greedy) Name() string { return StrategyGreedy }
+
+// PredictedSlots implements Router. Greedy's slot count is behavioral — it
+// depends on the packing order — so prediction runs the packing loop itself
+// and costs as much as Route without producing the schedule.
+func (r *Greedy) PredictedSlots(pi []int) (int, error) {
+	res, err := greedy.Route(r.nw.D, r.nw.G, pi)
+	if err != nil {
+		return 0, err
+	}
+	return res.Slots, nil
+}
+
+// Route implements Router.
+func (r *Greedy) Route(pi []int) (*Plan, error) {
+	res, err := greedy.Route(r.nw.D, r.nw.G, pi)
+	if err != nil {
+		return nil, err
+	}
+	return r.finish(core.FromSchedule(r.nw, pi, res.Schedule, StrategyGreedy))
+}
+
+// DirectOptimal routes with direct (relay-free) transfers in the minimum
+// number of slots any direct router can achieve: µmax, the maximum
+// multiplicity of a (source group, destination group) pair. It recovers
+// specialized results like Sahni's ⌈d/g⌉-slot matrix transpose.
+type DirectOptimal struct{ routerBase }
+
+// NewDirectOptimal builds the optimal direct router on POPS(d, g).
+func NewDirectOptimal(d, g int, opts ...Option) (*DirectOptimal, error) {
+	base, err := newRouterBase(d, g, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &DirectOptimal{base}, nil
+}
+
+// Name implements Router.
+func (r *DirectOptimal) Name() string { return StrategyDirectOptimal }
+
+// PredictedSlots implements Router: µmax, from one counting pass over pi.
+func (r *DirectOptimal) PredictedSlots(pi []int) (int, error) {
+	return greedy.MaxPairMultiplicity(r.nw.D, r.nw.G, pi)
+}
+
+// Route implements Router.
+func (r *DirectOptimal) Route(pi []int) (*Plan, error) {
+	res, err := greedy.DirectOptimal(r.nw.D, r.nw.G, pi)
+	if err != nil {
+		return nil, err
+	}
+	return r.finish(core.FromSchedule(r.nw, pi, res.Schedule, StrategyDirectOptimal))
+}
+
+// SingleSlot is the Gravenstreter–Melhem router: one slot, applicable
+// exactly when no (source group, destination group) pair carries two
+// packets. Route and PredictedSlots fail on permutations outside that class.
+type SingleSlot struct{ routerBase }
+
+// NewSingleSlot builds the single-slot router on POPS(d, g).
+func NewSingleSlot(d, g int, opts ...Option) (*SingleSlot, error) {
+	base, err := newRouterBase(d, g, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &SingleSlot{base}, nil
+}
+
+// Name implements Router.
+func (r *SingleSlot) Name() string { return StrategySingleSlot }
+
+// PredictedSlots implements Router: 1 when pi is single-slot routable, an
+// error otherwise.
+func (r *SingleSlot) PredictedSlots(pi []int) (int, error) {
+	ok, err := singleslot.IsRoutable(r.nw.D, r.nw.G, pi)
+	if err != nil {
+		return 0, err
+	}
+	if !ok {
+		return 0, fmt.Errorf("pops: permutation is not single-slot routable on %v", r.nw)
+	}
+	return 1, nil
+}
+
+// Route implements Router.
+func (r *SingleSlot) Route(pi []int) (*Plan, error) {
+	sched, err := singleslot.Route(r.nw.D, r.nw.G, pi)
+	if err != nil {
+		return nil, err
+	}
+	return r.finish(core.FromSchedule(r.nw, pi, sched, StrategySingleSlot))
+}
+
+// Auto picks the cheapest applicable strategy per permutation: the one-slot
+// router when the Gravenstreter–Melhem characterization admits pi, the
+// optimal direct router when its µmax bound beats Theorem 2's 2⌈d/g⌉, and
+// the universal Theorem 2 router otherwise. Its slot count therefore never
+// exceeds TheoremTwo's. Plan.Strategy records the strategy actually chosen.
+type Auto struct{ routerBase }
+
+// NewAuto builds the strategy-selecting router on POPS(d, g).
+func NewAuto(d, g int, opts ...Option) (*Auto, error) {
+	base, err := newRouterBase(d, g, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Auto{base}, nil
+}
+
+// Name implements Router.
+func (r *Auto) Name() string { return StrategyAuto }
+
+// choose returns the strategy Auto will dispatch pi to and its slot count.
+// One counting pass decides all three cases: single-slot routability
+// (Gravenstreter–Melhem) is exactly µmax == 1, so the same multiplicity that
+// drives the direct-optimal bound answers the one-slot check too.
+func (r *Auto) choose(pi []int) (string, int, error) {
+	d, g := r.nw.D, r.nw.G
+	mu, err := greedy.MaxPairMultiplicity(d, g, pi)
+	if err != nil {
+		return "", 0, err
+	}
+	if mu == 1 {
+		return StrategySingleSlot, 1, nil
+	}
+	theorem := OptimalSlots(d, g)
+	if mu < theorem {
+		return StrategyDirectOptimal, mu, nil
+	}
+	return StrategyTheoremTwo, theorem, nil
+}
+
+// PredictedSlots implements Router: min(1 if single-slot routable, µmax,
+// 2⌈d/g⌉), without building a schedule.
+func (r *Auto) PredictedSlots(pi []int) (int, error) {
+	_, slots, err := r.choose(pi)
+	return slots, err
+}
+
+// Route implements Router, dispatching to the chosen strategy. The
+// classification of choose runs once: the dispatched builders reuse its
+// verdict (and, for direct routing, its µmax) instead of re-deriving them.
+func (r *Auto) Route(pi []int) (*Plan, error) {
+	strategy, slots, err := r.choose(pi)
+	if err != nil {
+		return nil, err
+	}
+	switch strategy {
+	case StrategySingleSlot:
+		sched, err := singleslot.RouteRoutable(r.nw.D, r.nw.G, pi)
+		if err != nil {
+			return nil, err
+		}
+		return r.finish(core.FromSchedule(r.nw, pi, sched, StrategySingleSlot))
+	case StrategyDirectOptimal:
+		res, err := greedy.DirectOptimalWithMu(r.nw.D, r.nw.G, pi, slots)
+		if err != nil {
+			return nil, err
+		}
+		return r.finish(core.FromSchedule(r.nw, pi, res.Schedule, StrategyDirectOptimal))
+	default:
+		return core.PlanRoute(r.nw.D, r.nw.G, pi, r.opts)
+	}
+}
