@@ -1,0 +1,35 @@
+# Development entry points. CI runs the same commands (see
+# .github/workflows/ci.yml); BENCH files are recorded with `make bench`.
+
+DATE := $(shell date +%F)
+
+.PHONY: build test vet race bench bench-smoke alloc-guard
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+vet:
+	go vet ./...
+
+race:
+	go test -race .
+
+# Record a BENCH_<date>.json with the benchmark set the baselines use.
+# Override the output or note: make bench BENCH_OUT=BENCH_x.json BENCH_NOTE="..."
+BENCH_OUT  ?= BENCH_$(DATE).json
+BENCH_NOTE ?= recorded with make bench
+bench:
+	go run ./cmd/benchrecord -out $(BENCH_OUT) -note "$(BENCH_NOTE)"
+
+# One-iteration benchmark pass: compile-and-run smoke, no timing value.
+bench-smoke:
+	go test -run '^$$' -bench . -benchtime 1x -benchmem ./...
+
+# The steady-state allocation guard of the coloring engine: fails if
+# Factorizer/Matcher/Splitter reuse regresses past the alloc budget.
+alloc-guard:
+	go test -run 'TestFactorizerAllocBudget|TestMatcherSteadyStateAllocFree|TestSplitterSteadyStateAllocFree' \
+		-count=1 ./internal/edgecolor ./internal/matching ./internal/graph

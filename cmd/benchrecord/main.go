@@ -1,0 +1,169 @@
+// Command benchrecord runs the repository's benchmark set and records the
+// results as a BENCH_<date>.json file in the established schema, so perf
+// changes land with a comparable artifact. It shells out to `go test` with
+// the same command the existing baselines were recorded with and parses the
+// standard -benchmem output.
+//
+// Usage (from the repository root; `make bench` wraps this):
+//
+//	go run ./cmd/benchrecord -note "short description of the change"
+//	go run ./cmd/benchrecord -out BENCH_2026-07-29_factorizer.json \
+//	    -bench 'BenchmarkPlannerReuse|BenchmarkRouteBatch' -benchtime 20x
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// benchResult is one benchmark line of the schema.
+type benchResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// benchFile is the BENCH_<date>.json schema used by the baselines.
+type benchFile struct {
+	Date       string        `json:"date"`
+	CommitNote string        `json:"commit_note"`
+	Goos       string        `json:"goos"`
+	Goarch     string        `json:"goarch"`
+	CPU        string        `json:"cpu"`
+	Gomaxprocs int           `json:"gomaxprocs"`
+	Command    string        `json:"command"`
+	Benchmarks []benchResult `json:"benchmarks"`
+	Notes      []string      `json:"notes,omitempty"`
+}
+
+type notesFlag []string
+
+func (n *notesFlag) String() string     { return strings.Join(*n, "; ") }
+func (n *notesFlag) Set(s string) error { *n = append(*n, s); return nil }
+
+func main() {
+	date := time.Now().Format("2006-01-02")
+	var (
+		out       = flag.String("out", "BENCH_"+date+".json", "output file")
+		note      = flag.String("note", "recorded with cmd/benchrecord", "commit_note field")
+		benchRe   = flag.String("bench", "BenchmarkPlannerReuse|BenchmarkRouteBatch", "benchmark regexp")
+		benchtime = flag.String("benchtime", "20x", "go test -benchtime value")
+		pkg       = flag.String("pkg", ".", "package to benchmark")
+		notes     notesFlag
+	)
+	flag.Var(&notes, "notes", "extra notes entry (repeatable)")
+	flag.Parse()
+
+	args := []string{"test", "-run", "^$", "-bench", *benchRe, "-benchmem", "-benchtime", *benchtime, *pkg}
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	raw, err := cmd.Output()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchrecord: go %s: %v\n", strings.Join(args, " "), err)
+		os.Exit(1)
+	}
+	os.Stdout.Write(raw)
+
+	cpu, results, err := parseBenchOutput(string(raw), runtime.GOMAXPROCS(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchrecord: %v\n", err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintf(os.Stderr, "benchrecord: no benchmark lines matched %q\n", *benchRe)
+		os.Exit(1)
+	}
+	file := benchFile{
+		Date:       date,
+		CommitNote: *note,
+		Goos:       runtime.GOOS,
+		Goarch:     runtime.GOARCH,
+		CPU:        cpu,
+		Gomaxprocs: runtime.GOMAXPROCS(0),
+		Command:    "go " + strings.Join(args, " "),
+		Benchmarks: results,
+		Notes:      notes,
+	}
+	blob, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchrecord: %v\n", err)
+		os.Exit(1)
+	}
+	blob = append(blob, '\n')
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchrecord: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchrecord: wrote %s (%d benchmarks)\n", *out, len(results))
+}
+
+// trimProcSuffix drops the trailing -P GOMAXPROCS suffix go test appends to
+// benchmark names when GOMAXPROCS > 1, keeping names comparable with the
+// GOMAXPROCS=1 baselines. Only the exact "-<procs>" suffix is stripped, so
+// a benchmark whose own name happens to end in -<digits> is never mangled
+// (at GOMAXPROCS=1 go test appends no suffix and nothing is trimmed).
+func trimProcSuffix(name string, procs int) string {
+	if procs <= 1 {
+		return name
+	}
+	suffix := "-" + strconv.Itoa(procs)
+	if rest, ok := strings.CutSuffix(name, suffix); ok && rest != "" {
+		return rest
+	}
+	return name
+}
+
+// parseBenchOutput extracts the cpu header and the benchmark result lines
+// from standard `go test -bench -benchmem` output. Lines look like:
+//
+//	BenchmarkFoo/sub-8   20   12345 ns/op   678 B/op   9 allocs/op
+//
+// (the -P GOMAXPROCS suffix is absent when GOMAXPROCS=1; procs names the
+// value the benchmarks ran with).
+func parseBenchOutput(out string, procs int) (cpu string, results []benchResult, err error) {
+	sc := bufio.NewScanner(strings.NewReader(out))
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, "cpu:"); ok {
+			cpu = strings.TrimSpace(rest)
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// name, iters, ns, "ns/op", bytes, "B/op", allocs, "allocs/op"
+		if len(fields) < 8 || fields[3] != "ns/op" || fields[5] != "B/op" || fields[7] != "allocs/op" {
+			continue
+		}
+		ns, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			return cpu, nil, fmt.Errorf("parsing ns/op in %q: %w", line, err)
+		}
+		bytes, err := strconv.ParseInt(fields[4], 10, 64)
+		if err != nil {
+			return cpu, nil, fmt.Errorf("parsing B/op in %q: %w", line, err)
+		}
+		allocs, err := strconv.ParseInt(fields[6], 10, 64)
+		if err != nil {
+			return cpu, nil, fmt.Errorf("parsing allocs/op in %q: %w", line, err)
+		}
+		results = append(results, benchResult{
+			Name:        trimProcSuffix(fields[0], procs),
+			NsPerOp:     ns,
+			BytesPerOp:  bytes,
+			AllocsPerOp: allocs,
+		})
+	}
+	return cpu, results, sc.Err()
+}

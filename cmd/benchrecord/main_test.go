@@ -1,0 +1,57 @@
+package main
+
+import "testing"
+
+func TestParseBenchOutput(t *testing.T) {
+	out := `goos: linux
+goarch: amd64
+pkg: pops
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkPlannerReuse/route-percall/d=8/g=8         	      20	     69095 ns/op	   43280 B/op	     626 allocs/op
+BenchmarkPlannerReuse/planner-reuse/d=8/g=8-8       	      20	     30373 ns/op	   36288 B/op	     482 allocs/op
+BenchmarkWithoutMem                                 	      20	     12345 ns/op
+PASS
+ok  	pops	2.098s
+`
+	cpu, results, err := parseBenchOutput(out, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cpu != "Intel(R) Xeon(R) Processor @ 2.10GHz" {
+		t.Fatalf("cpu = %q", cpu)
+	}
+	if len(results) != 2 {
+		t.Fatalf("parsed %d results, want 2", len(results))
+	}
+	r := results[0]
+	if r.Name != "BenchmarkPlannerReuse/route-percall/d=8/g=8" ||
+		r.NsPerOp != 69095 || r.BytesPerOp != 43280 || r.AllocsPerOp != 626 {
+		t.Fatalf("first result = %+v", r)
+	}
+	if results[1].Name != "BenchmarkPlannerReuse/planner-reuse/d=8/g=8" {
+		t.Fatalf("GOMAXPROCS suffix not trimmed: %q", results[1].Name)
+	}
+}
+
+func TestTrimProcSuffix(t *testing.T) {
+	cases := []struct {
+		in    string
+		procs int
+		want  string
+	}{
+		{"BenchmarkFoo-8", 8, "BenchmarkFoo"},
+		{"BenchmarkFoo", 8, "BenchmarkFoo"},
+		{"BenchmarkFoo/d=8/g=8", 8, "BenchmarkFoo/d=8/g=8"},
+		// A name legitimately ending in -<digits> survives when no proc
+		// suffix was appended (GOMAXPROCS=1) or the digits differ.
+		{"BenchmarkFoo/route-call-4", 1, "BenchmarkFoo/route-call-4"},
+		{"BenchmarkFoo/route-call-4", 8, "BenchmarkFoo/route-call-4"},
+		{"BenchmarkFoo/route-call-4-8", 8, "BenchmarkFoo/route-call-4"},
+		{"BenchmarkFoo-", 8, "BenchmarkFoo-"},
+	}
+	for _, tc := range cases {
+		if got := trimProcSuffix(tc.in, tc.procs); got != tc.want {
+			t.Errorf("trimProcSuffix(%q, %d) = %q, want %q", tc.in, tc.procs, got, tc.want)
+		}
+	}
+}

@@ -51,18 +51,23 @@ func ForEach(workers, n int, acquire func() *Planner, release func(*Planner), fn
 
 // Planner computes Theorem 2 routings repeatedly on one POPS(d, g) network.
 // The network shape is validated once, and the demand multigraph, the
-// permutation-validation scratch, and the invariant-check tables are reused
-// across calls, so planning a stream of permutations allocates only what the
-// returned Plans retain (colors, slots). A Planner is not safe for
-// concurrent use; the public batch layer hands one Planner to each worker.
+// edge-coloring arena, the permutation-validation scratch, and the
+// invariant-check tables are reused across calls, so planning a stream of
+// permutations allocates only what the returned Plans retain (colors,
+// slots). A Planner is not safe for concurrent use; the public batch layer
+// hands one Planner to each worker, so each worker owns one Factorizer
+// arena.
 type Planner struct {
 	nw   popsnet.Network
 	opts Options
 
-	// Scratch reused across Plan calls, all O(n + g + max(d, g)): demand and
-	// the invariant scratch are nil for d = 1, where routing is direct and
-	// needs no coloring.
+	// Scratch reused across Plan calls: demand, fact and the invariant
+	// scratch are nil for d = 1, where routing is direct and needs no
+	// coloring. fact is the allocation-free edge-coloring engine — the
+	// planner's dominant cost — whose arena (Euler-split work stack,
+	// matching buffers, Theorem 1 padding graph) persists across calls.
 	demand     *graph.Bipartite
+	fact       *edgecolor.Factorizer
 	seen       []bool  // perms.ValidateInto scratch
 	byColor    [][]int // color -> packets of that color (invariant check)
 	seenGroup  []bool  // group -> seen within current color class (undo-reset)
@@ -84,6 +89,7 @@ func NewPlannerFor(nw popsnet.Network, opts Options) *Planner {
 	pl := &Planner{nw: nw, opts: opts, seen: make([]bool, nw.N())}
 	if nw.D > 1 {
 		pl.demand = graph.New(nw.G, nw.G)
+		pl.fact = edgecolor.NewFactorizer()
 		pl.initBuildScratch()
 	}
 	return pl
@@ -126,16 +132,20 @@ func (pl *Planner) Plan(pi []int) (*Plan, error) {
 		if err != nil {
 			return nil, err
 		}
-		plan = &Plan{Net: nw, Pi: copyPerm(pi), Strategy: StrategyTheoremTwo, sched: sched}
+		plan = &Plan{Net: nw, Pi: pl.opts.snapshotPerm(pi), Strategy: StrategyTheoremTwo, sched: sched}
 	} else {
 		pl.demand.Reset()
 		for p := 0; p < nw.N(); p++ {
 			pl.demand.AddEdge(nw.Group(p), nw.Group(pi[p]))
 		}
-		colors, err := edgecolor.Balanced(pl.demand, pl.colorCount, pl.opts.Algorithm)
-		if err != nil {
+		// The colors slice is retained by the returned Plan, so it is the
+		// one coloring allocation a warmed planner makes per call; all
+		// factorization scratch lives in the reusable arena.
+		colors := make([]int, nw.N())
+		if err := pl.fact.BalancedInto(colors, pl.demand, pl.colorCount, pl.opts.Algorithm); err != nil {
 			return nil, fmt.Errorf("core: coloring demand graph: %w", err)
 		}
+		var err error
 		plan, err = pl.buildPlan(pi, colors)
 		if err != nil {
 			return nil, err
@@ -202,7 +212,7 @@ func (pl *Planner) buildPlan(pi, colors []int) (*Plan, error) {
 		sched.Slots = append(sched.Slots, slot1, slot2)
 	}
 
-	return &Plan{Net: nw, Pi: copyPerm(pi), Strategy: StrategyTheoremTwo, Colors: colors, Rounds: rounds, sched: sched}, nil
+	return &Plan{Net: nw, Pi: pl.opts.snapshotPerm(pi), Strategy: StrategyTheoremTwo, Colors: colors, Rounds: rounds, sched: sched}, nil
 }
 
 // checkFairInvariants re-verifies equations (4)–(7) of the paper on the

@@ -20,43 +20,65 @@ import (
 // matching uses 2·(n − Δ2) padding edges, so it contains exactly Δ2 real
 // edges — the required balanced classes.
 //
-// The returned slice maps edge ID of b to its color in [0, C).
+// The returned slice maps edge ID of b to its color in [0, C). It is the
+// convenience form of Factorizer.BalancedInto with a throwaway arena;
+// repeated callers (the Theorem 2 planner) hold a Factorizer and reuse the
+// padding graph and all coloring scratch across calls.
 func Balanced(b *graph.Bipartite, colorCount int, algo Algorithm) ([]int, error) {
+	var f Factorizer
+	colors := make([]int, b.NumEdges())
+	if err := f.BalancedInto(colors, b, colorCount, algo); err != nil {
+		return nil, err
+	}
+	return colors, nil
+}
+
+// BalancedInto is the arena form of Balanced: it writes the color of every
+// edge of b into colors (indexed by edge ID, len(colors) == b.NumEdges()).
+// The Theorem 1 padding graph is rebuilt in place when the shape repeats —
+// the common case for a planner coloring a stream of demand graphs on one
+// network — so steady-state calls do not allocate.
+func (f *Factorizer) BalancedInto(colors []int, b *graph.Bipartite, colorCount int, algo Algorithm) error {
 	n := b.NLeft()
 	if n != b.NRight() {
-		return nil, fmt.Errorf("edgecolor: Balanced needs equal sides, got %d and %d", n, b.NRight())
+		return fmt.Errorf("edgecolor: Balanced needs equal sides, got %d and %d", n, b.NRight())
 	}
 	k, ok := b.RegularDegree()
 	if !ok {
-		return nil, graph.ErrNotBipartiteRegular
+		return graph.ErrNotBipartiteRegular
 	}
 	if colorCount < k {
-		return nil, fmt.Errorf("edgecolor: %d colors cannot properly color a %d-regular graph", colorCount, k)
+		return fmt.Errorf("edgecolor: %d colors cannot properly color a %d-regular graph", colorCount, k)
+	}
+	if len(colors) != b.NumEdges() {
+		return fmt.Errorf("edgecolor: %d color slots for %d edges", len(colors), b.NumEdges())
 	}
 	if colorCount == 0 {
-		return []int{}, nil
+		return nil
 	}
 	if (n*k)%colorCount != 0 {
-		return nil, fmt.Errorf("edgecolor: %d colors do not divide %d edges evenly", colorCount, n*k)
+		return fmt.Errorf("edgecolor: %d colors do not divide %d edges evenly", colorCount, n*k)
 	}
 	classSize := n * k / colorCount
 	pad := n - classSize // |V| = |V'|
 	if pad < 0 {
-		return nil, fmt.Errorf("edgecolor: class size %d exceeds side size %d", classSize, n)
+		return fmt.Errorf("edgecolor: class size %d exceeds side size %d", classSize, n)
 	}
 
 	if pad == 0 {
 		// C == k: a plain 1-factorization already has classes of size n.
-		classes, err := Factorize(b, algo)
-		if err != nil {
-			return nil, err
-		}
-		return ClassesToColors(b.NumEdges(), classes), nil
+		return f.FactorizeInto(colors, b, algo)
 	}
 
-	// Build the padded graph. Real edges first so their IDs are preserved.
+	// Build the padded graph into the arena. Real edges first so their IDs
+	// are preserved.
 	side := n + pad
-	p := graph.New(side, side)
+	if f.padded == nil || f.padded.NLeft() != side || f.padded.NRight() != side {
+		f.padded = graph.New(side, side)
+	} else {
+		f.padded.Reset()
+	}
+	p := f.padded
 	for id := 0; id < b.NumEdges(); id++ {
 		e := b.Edge(id)
 		p.AddEdge(e.L, e.R)
@@ -73,29 +95,27 @@ func Balanced(b *graph.Bipartite, colorCount int, algo Algorithm) ([]int, error)
 		p.AddEdge(c%n, n+c/colorCount)
 	}
 	if !p.IsRegular(colorCount) {
-		return nil, fmt.Errorf("edgecolor: internal error: padded graph is not %d-regular", colorCount)
+		return fmt.Errorf("edgecolor: internal error: padded graph is not %d-regular", colorCount)
 	}
 
-	classes, err := Factorize(p, algo)
-	if err != nil {
-		return nil, fmt.Errorf("edgecolor: factorizing padded graph: %w", err)
+	f.padColors = graph.ResizeInts(f.padColors, p.NumEdges())
+	if err := f.FactorizeInto(f.padColors, p, algo); err != nil {
+		return fmt.Errorf("edgecolor: factorizing padded graph: %w", err)
 	}
-	colors := make([]int, b.NumEdges())
-	for i := range colors {
-		colors[i] = -1
+	f.classCount = graph.ResizeInts(f.classCount, colorCount)
+	for c := range f.classCount {
+		f.classCount[c] = 0
 	}
-	for c, class := range classes {
-		real := 0
-		for _, id := range class {
-			if id < b.NumEdges() {
-				colors[id] = c
-				real++
-			}
-		}
-		if real != classSize {
-			return nil, fmt.Errorf("edgecolor: internal error: class %d has %d real edges, want %d",
-				c, real, classSize)
+	for id := 0; id < b.NumEdges(); id++ {
+		c := f.padColors[id]
+		colors[id] = c
+		f.classCount[c]++
+	}
+	for c, size := range f.classCount {
+		if size != classSize {
+			return fmt.Errorf("edgecolor: internal error: class %d has %d real edges, want %d",
+				c, size, classSize)
 		}
 	}
-	return colors, nil
+	return nil
 }

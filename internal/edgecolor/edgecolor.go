@@ -16,6 +16,13 @@
 //     theorem, O(n·m); colors arbitrary (non-regular) bipartite multigraphs
 //     with Δ colors, corresponding to the O(Δm)-style bound of Schrijver.
 //
+// All three run on the arena-backed Factorizer engine: an iterative work
+// stack over index-range views of one edge array, bit-vector membership
+// sets, and matching/splitting routines that write into reusable buffers.
+// The package-level Factorize, Balanced and ColorInsertion are thin
+// compatibility wrappers over a fresh arena; planners that color repeatedly
+// hold a Factorizer (one per worker) and stay allocation-free after warm-up.
+//
 // Balanced colorings with exact color-class sizes — the actual statement of
 // Theorem 1, needed when the network has fewer packets per group than groups
 // (d < g) — are in balanced.go.
@@ -25,7 +32,6 @@ import (
 	"fmt"
 
 	"pops/internal/graph"
-	"pops/internal/matching"
 )
 
 // Algorithm selects a 1-factorization strategy.
@@ -60,146 +66,11 @@ func (a Algorithm) String() string {
 // Factorize decomposes a k-regular bipartite multigraph with equal sides
 // into k perfect matchings and returns them as slices of edge IDs, one slice
 // per color class. It returns an error if the graph is not regular or the
-// sides differ.
+// sides differ. It is the convenience form of Factorizer.Factorize with a
+// throwaway arena; repeated callers hold a Factorizer and reuse its scratch.
 func Factorize(b *graph.Bipartite, algo Algorithm) ([][]int, error) {
-	if b.NLeft() != b.NRight() {
-		return nil, fmt.Errorf("edgecolor: sides differ (%d vs %d)", b.NLeft(), b.NRight())
-	}
-	k, ok := b.RegularDegree()
-	if !ok {
-		return nil, graph.ErrNotBipartiteRegular
-	}
-	switch algo {
-	case RepeatedMatching:
-		return factorizeRepeated(b, k)
-	case EulerSplitDC:
-		return factorizeEuler(b, k)
-	case Insertion:
-		colors, c, err := ColorInsertion(b)
-		if err != nil {
-			return nil, err
-		}
-		if c > k {
-			return nil, fmt.Errorf("edgecolor: insertion used %d colors on %d-regular graph", c, k)
-		}
-		classes := make([][]int, k)
-		for id, col := range colors {
-			classes[col] = append(classes[col], id)
-		}
-		return classes, nil
-	default:
-		return nil, fmt.Errorf("edgecolor: unknown algorithm %v", algo)
-	}
-}
-
-func factorizeRepeated(b *graph.Bipartite, k int) ([][]int, error) {
-	classes := make([][]int, 0, k)
-	// remaining maps current-subgraph edge IDs back to the original graph.
-	cur := b
-	curToOrig := make([]int, b.NumEdges())
-	for i := range curToOrig {
-		curToOrig[i] = i
-	}
-	for round := 0; round < k; round++ {
-		m := matching.HopcroftKarp(cur)
-		if len(m) != cur.NLeft() {
-			return nil, fmt.Errorf("edgecolor: round %d: matching size %d of %d (graph not regular?)",
-				round, len(m), cur.NLeft())
-		}
-		class := make([]int, 0, len(m))
-		inMatch := make(map[int]bool, len(m))
-		for _, id := range m {
-			class = append(class, curToOrig[id])
-			inMatch[id] = true
-		}
-		classes = append(classes, class)
-		rest := make([]int, 0, cur.NumEdges()-len(m))
-		for id := 0; id < cur.NumEdges(); id++ {
-			if !inMatch[id] {
-				rest = append(rest, id)
-			}
-		}
-		sub, origIDs := cur.SubgraphByEdges(rest)
-		next := make([]int, len(origIDs))
-		for newID, oldID := range origIDs {
-			next[newID] = curToOrig[oldID]
-		}
-		cur, curToOrig = sub, next
-	}
-	return classes, nil
-}
-
-func factorizeEuler(b *graph.Bipartite, k int) ([][]int, error) {
-	switch {
-	case k == 0:
-		return nil, nil
-	case k == 1:
-		all := make([]int, b.NumEdges())
-		for i := range all {
-			all[i] = i
-		}
-		return [][]int{all}, nil
-	case k%2 == 1:
-		m, err := matching.PerfectMatchingRegular(b)
-		if err != nil {
-			return nil, fmt.Errorf("edgecolor: peeling matching at degree %d: %w", k, err)
-		}
-		inMatch := make(map[int]bool, len(m))
-		for _, id := range m {
-			inMatch[id] = true
-		}
-		rest := make([]int, 0, b.NumEdges()-len(m))
-		for id := 0; id < b.NumEdges(); id++ {
-			if !inMatch[id] {
-				rest = append(rest, id)
-			}
-		}
-		sub, orig := b.SubgraphByEdges(rest)
-		classes, err := factorizeEuler(sub, k-1)
-		if err != nil {
-			return nil, err
-		}
-		out := make([][]int, 0, k)
-		for _, class := range classes {
-			mapped := make([]int, len(class))
-			for i, id := range class {
-				mapped[i] = orig[id]
-			}
-			out = append(out, mapped)
-		}
-		return append(out, m), nil
-	default:
-		a, bb, err := graph.EulerSplit(b)
-		if err != nil {
-			return nil, err
-		}
-		subA, origA := b.SubgraphByEdges(a)
-		subB, origB := b.SubgraphByEdges(bb)
-		classesA, err := factorizeEuler(subA, k/2)
-		if err != nil {
-			return nil, err
-		}
-		classesB, err := factorizeEuler(subB, k/2)
-		if err != nil {
-			return nil, err
-		}
-		out := make([][]int, 0, k)
-		for _, class := range classesA {
-			mapped := make([]int, len(class))
-			for i, id := range class {
-				mapped[i] = origA[id]
-			}
-			out = append(out, mapped)
-		}
-		for _, class := range classesB {
-			mapped := make([]int, len(class))
-			for i, id := range class {
-				mapped[i] = origB[id]
-			}
-			out = append(out, mapped)
-		}
-		return out, nil
-	}
+	var f Factorizer
+	return f.Factorize(b, algo)
 }
 
 // ColorInsertion properly edge-colors an arbitrary bipartite multigraph with
@@ -207,92 +78,101 @@ func factorizeEuler(b *graph.Bipartite, k int) ([][]int, error) {
 // returns the color of every edge (indexed by edge ID) and the number of
 // colors Δ.
 func ColorInsertion(b *graph.Bipartite) (colors []int, numColors int, err error) {
+	var f Factorizer
+	colors = make([]int, b.NumEdges())
+	numColors, err = f.colorInsertionInto(colors, b)
+	if err != nil {
+		return nil, 0, err
+	}
+	return colors, numColors, nil
+}
+
+// colorInsertionInto is the arena form of ColorInsertion: the per-node color
+// tables live in the Factorizer as flat slices (node*Δ+color indexing) and
+// the alternating path reuses one buffer, so steady-state calls do not
+// allocate. colors must have length b.NumEdges(); it is fully overwritten.
+func (f *Factorizer) colorInsertionInto(colors []int, b *graph.Bipartite) (int, error) {
 	delta := b.MaxDegree()
 	nL, nR := b.NLeft(), b.NRight()
-	// colL[l][c] / colR[r][c] = edge ID with color c at that node, or -1.
-	colL := newTable(nL, delta)
-	colR := newTable(nR, delta)
-	colors = make([]int, b.NumEdges())
+	// colL[l*Δ+c] / colR[r*Δ+c] = edge ID with color c at that node, or -1.
+	f.colL = graph.ResizeInts(f.colL, nL*delta)
+	f.colR = graph.ResizeInts(f.colR, nR*delta)
+	for i := range f.colL {
+		f.colL[i] = -1
+	}
+	for i := range f.colR {
+		f.colR[i] = -1
+	}
 	for i := range colors {
 		colors[i] = -1
 	}
 
-	freeAt := func(tab [][]int, v int) int {
-		for c, id := range tab[v] {
-			if id == -1 {
-				return c
-			}
-		}
-		return -1
-	}
-
 	for id := 0; id < b.NumEdges(); id++ {
 		e := b.Edge(id)
-		a := freeAt(colL, e.L)
-		bFree := freeAt(colR, e.R)
+		a := freeAt(f.colL, e.L, delta)
+		bFree := freeAt(f.colR, e.R, delta)
 		if a == -1 || bFree == -1 {
-			return nil, 0, fmt.Errorf("edgecolor: no free color at edge %d (degree bookkeeping broken)", id)
+			return 0, fmt.Errorf("edgecolor: no free color at edge %d (degree bookkeeping broken)", id)
 		}
-		if colR[e.R][a] == -1 {
-			assign(colors, colL, colR, b, id, a)
+		if f.colR[e.R*delta+a] == -1 {
+			f.assign(colors, b, delta, id, a)
 			continue
 		}
-		if colL[e.L][bFree] == -1 {
-			assign(colors, colL, colR, b, id, bFree)
+		if f.colL[e.L*delta+bFree] == -1 {
+			f.assign(colors, b, delta, id, bFree)
 			continue
 		}
 		// a is free at L but used at R; bFree is free at R but used at L.
 		// Swap colors a <-> bFree along the alternating path starting from
 		// e.R via its a-colored edge. The path can never reach e.L: every
 		// arrival at a left node uses color a, which is free at e.L.
-		swapAlternating(colors, colL, colR, b, e.R, a, bFree)
-		if colR[e.R][a] != -1 || colL[e.L][a] != -1 {
-			return nil, 0, fmt.Errorf("edgecolor: alternating swap failed to free color %d at edge %d", a, id)
+		f.swapAlternating(colors, b, delta, e.R, a, bFree)
+		if f.colR[e.R*delta+a] != -1 || f.colL[e.L*delta+a] != -1 {
+			return 0, fmt.Errorf("edgecolor: alternating swap failed to free color %d at edge %d", a, id)
 		}
-		assign(colors, colL, colR, b, id, a)
+		f.assign(colors, b, delta, id, a)
 	}
-	return colors, delta, nil
+	return delta, nil
 }
 
-func newTable(n, delta int) [][]int {
-	flat := make([]int, n*delta)
-	for i := range flat {
-		flat[i] = -1
+// freeAt returns the first color with no edge at node v, or -1.
+func freeAt(tab []int, v, delta int) int {
+	row := tab[v*delta : (v+1)*delta]
+	for c, id := range row {
+		if id == -1 {
+			return c
+		}
 	}
-	tab := make([][]int, n)
-	for i := range tab {
-		tab[i] = flat[i*delta : (i+1)*delta]
-	}
-	return tab
+	return -1
 }
 
-func assign(colors []int, colL, colR [][]int, b *graph.Bipartite, id, c int) {
+func (f *Factorizer) assign(colors []int, b *graph.Bipartite, delta, id, c int) {
 	e := b.Edge(id)
 	colors[id] = c
-	colL[e.L][c] = id
-	colR[e.R][c] = id
+	f.colL[e.L*delta+c] = id
+	f.colR[e.R*delta+c] = id
 }
 
 // swapAlternating exchanges colors a and bc along the maximal alternating
 // path starting at right node r with an a-colored edge. The path is
 // collected first and recolored afterwards: recoloring while walking would
 // overwrite the table entry that points at the next path edge.
-func swapAlternating(colors []int, colL, colR [][]int, b *graph.Bipartite, r, a, bc int) {
-	path := make([]int, 0, 8)
+func (f *Factorizer) swapAlternating(colors []int, b *graph.Bipartite, delta, r, a, bc int) {
+	f.path = f.path[:0]
 	curRight := true
 	v := r
 	want := a
 	for {
 		var id int
 		if curRight {
-			id = colR[v][want]
+			id = f.colR[v*delta+want]
 		} else {
-			id = colL[v][want]
+			id = f.colL[v*delta+want]
 		}
 		if id == -1 {
 			break
 		}
-		path = append(path, id)
+		f.path = append(f.path, id)
 		e := b.Edge(id)
 		if curRight {
 			v = e.L
@@ -309,13 +189,13 @@ func swapAlternating(colors []int, colL, colR [][]int, b *graph.Bipartite, r, a,
 	// Clear all old entries, then set all new ones. Consecutive path edges
 	// share a node but receive different new colors, so the set phase never
 	// collides with itself.
-	for _, id := range path {
+	for _, id := range f.path {
 		e := b.Edge(id)
 		c := colors[id]
-		colL[e.L][c] = -1
-		colR[e.R][c] = -1
+		f.colL[e.L*delta+c] = -1
+		f.colR[e.R*delta+c] = -1
 	}
-	for _, id := range path {
+	for _, id := range f.path {
 		e := b.Edge(id)
 		c := colors[id]
 		nc := a
@@ -323,8 +203,8 @@ func swapAlternating(colors []int, colL, colR [][]int, b *graph.Bipartite, r, a,
 			nc = bc
 		}
 		colors[id] = nc
-		colL[e.L][nc] = id
-		colR[e.R][nc] = id
+		f.colL[e.L*delta+nc] = id
+		f.colR[e.R*delta+nc] = id
 	}
 }
 

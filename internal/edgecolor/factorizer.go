@@ -1,0 +1,245 @@
+package edgecolor
+
+import (
+	"fmt"
+
+	"pops/internal/graph"
+	"pops/internal/matching"
+	"pops/internal/simd/bitvec"
+)
+
+// Factorizer is a reusable arena for bipartite edge coloring — the
+// allocation-free engine behind Factorize and Balanced. One Factorizer
+// amortizes every piece of scratch the factorization algorithms need across
+// calls:
+//
+//   - the Euler-split divide and conquer runs as an iterative work stack
+//     over index-range views of a single edge-ID array, instead of
+//     materializing a subgraph per recursion level;
+//   - matched-edge membership is tracked in bit vectors
+//     (internal/simd/bitvec word walks), not map[int]bool;
+//   - the matching routines (Hopcroft–Karp, the Alon Euler-halving perfect
+//     matcher) and the Euler splitter write into caller-provided buffers
+//     owned by the arena (matching.Matcher, graph.Splitter);
+//   - the Balanced padding graph is rebuilt in place (graph.Reset) when the
+//     shape repeats.
+//
+// After a warm-up call per shape, FactorizeInto and BalancedInto perform no
+// heap allocations. The zero value is ready to use. A Factorizer is not
+// safe for concurrent use; hold one per worker (core.Planner does).
+//
+// The engine is deterministic and produces exactly the color classes of the
+// historical recursive implementation (pinned by the package golden test):
+// segment order mirrors subgraph edge-ID order, and class indices are
+// assigned by precomputed base offsets that reproduce the recursion's
+// concatenation order.
+type Factorizer struct {
+	matcher matching.Matcher
+	split   graph.Splitter
+
+	ids        []int        // edge IDs, permuted in place; a segment [lo,hi) is one subproblem
+	edges      []graph.Edge // endpoints of the current segment, gathered per work item
+	outA, outB []int        // Euler-split halves (segment-local indices)
+	tmp        []int        // segment reorder scratch
+	match      []int        // matching output (segment-local indices)
+	rest       []int        // unmatched-index word-walk output
+	inMatch    bitvec.Vec
+	stack      []segTask
+
+	// Insertion coloring scratch: flat color tables and the alternating
+	// path, see colorInsertionInto.
+	colL, colR []int
+	path       []int
+
+	// Balanced scratch: the Theorem 1 padding graph and its coloring.
+	padded     *graph.Bipartite
+	padColors  []int
+	classCount []int
+}
+
+// segTask is one pending subproblem of the Euler-split divide and conquer:
+// the k-regular sub-multigraph holding the edges ids[lo:hi], whose color
+// classes are base..base+k-1. Bases are precomputed on the way down, so
+// tasks can run in any order and still reproduce the recursion's class
+// numbering (A-half classes, then B-half classes; peeled matching last).
+type segTask struct {
+	lo, hi, k, base int
+}
+
+// NewFactorizer returns an empty arena. The zero value works too; New is
+// for callers that want to share one behind a pointer.
+func NewFactorizer() *Factorizer { return &Factorizer{} }
+
+// Factorize decomposes a k-regular bipartite multigraph with equal sides
+// into k perfect matchings, returned as freshly allocated slices of edge
+// IDs (ascending within each class), one slice per color class. The arena
+// is reused across calls; only the returned classes are allocated.
+func (f *Factorizer) Factorize(b *graph.Bipartite, algo Algorithm) ([][]int, error) {
+	k, _ := b.RegularDegree() // validated (with the side check first) by FactorizeInto
+	colors := make([]int, b.NumEdges())
+	if err := f.FactorizeInto(colors, b, algo); err != nil {
+		return nil, err
+	}
+	classes := make([][]int, k)
+	for id, c := range colors {
+		classes[c] = append(classes[c], id)
+	}
+	return classes, nil
+}
+
+// FactorizeInto decomposes a k-regular bipartite multigraph with equal
+// sides into k perfect matchings, writing the class index of every edge
+// into colors (indexed by edge ID, len(colors) == b.NumEdges()). It returns
+// an error if the graph is not regular or the sides differ. Steady-state
+// calls on a warmed arena do not allocate.
+func (f *Factorizer) FactorizeInto(colors []int, b *graph.Bipartite, algo Algorithm) error {
+	if b.NLeft() != b.NRight() {
+		return fmt.Errorf("edgecolor: sides differ (%d vs %d)", b.NLeft(), b.NRight())
+	}
+	k, ok := b.RegularDegree()
+	if !ok {
+		return graph.ErrNotBipartiteRegular
+	}
+	if len(colors) != b.NumEdges() {
+		return fmt.Errorf("edgecolor: %d color slots for %d edges", len(colors), b.NumEdges())
+	}
+	switch algo {
+	case RepeatedMatching:
+		return f.factorizeRepeated(colors, b, k)
+	case EulerSplitDC:
+		return f.factorizeEuler(colors, b, k)
+	case Insertion:
+		c, err := f.colorInsertionInto(colors, b)
+		if err != nil {
+			return err
+		}
+		if c > k {
+			return fmt.Errorf("edgecolor: insertion used %d colors on %d-regular graph", c, k)
+		}
+		return nil
+	default:
+		return fmt.Errorf("edgecolor: unknown algorithm %v", algo)
+	}
+}
+
+// prepare sizes the shared view buffers for an m-edge instance and resets
+// the segment array to the identity.
+func (f *Factorizer) prepare(m, nL int) {
+	f.ids = graph.ResizeInts(f.ids, m)
+	for i := range f.ids {
+		f.ids[i] = i
+	}
+	f.edges = graph.ResizeEdges(f.edges, m)
+	f.tmp = graph.ResizeInts(f.tmp, m)
+	f.outA = graph.ResizeInts(f.outA, m/2)
+	f.outB = graph.ResizeInts(f.outB, m/2)
+	f.match = graph.ResizeInts(f.match, nL)
+	if cap(f.rest) < m {
+		f.rest = make([]int, 0, m)
+	}
+}
+
+// gather copies the endpoints of the segment's edges into the arena's edge
+// buffer, establishing the view the splitter and matcher operate on:
+// segment-local index i is edge seg[i] of b.
+func (f *Factorizer) gather(all []graph.Edge, seg []int) []graph.Edge {
+	view := f.edges[:len(seg)]
+	for i, id := range seg {
+		view[i] = all[id]
+	}
+	return view
+}
+
+// compact drops the matched segment-local indices (bits of f.inMatch) from
+// ids[lo:lo+segLen], preserving order, and returns the surviving length.
+// The scan is a bitvec word walk over the complement.
+func (f *Factorizer) compact(lo, segLen int) int {
+	f.rest = f.inMatch.AppendClear(f.rest[:0], segLen)
+	for w, i := range f.rest {
+		f.ids[lo+w] = f.ids[lo+i]
+	}
+	return len(f.rest)
+}
+
+// factorizeEuler is the Euler-split divide and conquer, iteratively: halve
+// even-degree segments with the arena splitter, peel one perfect matching
+// (Alon Euler-halving) at odd degrees, color whole segments at degree one.
+func (f *Factorizer) factorizeEuler(colors []int, b *graph.Bipartite, k int) error {
+	if k == 0 {
+		return nil
+	}
+	m := b.NumEdges()
+	nL, nR := b.NLeft(), b.NRight()
+	f.prepare(m, nL)
+	all := b.EdgeList()
+	f.stack = append(f.stack[:0], segTask{lo: 0, hi: m, k: k, base: 0})
+	for len(f.stack) > 0 {
+		t := f.stack[len(f.stack)-1]
+		f.stack = f.stack[:len(f.stack)-1]
+		seg := f.ids[t.lo:t.hi]
+		switch {
+		case t.k == 1:
+			for _, id := range seg {
+				colors[id] = t.base
+			}
+		case t.k%2 == 1:
+			view := f.gather(all, seg)
+			nMatch, err := f.matcher.PerfectMatchingRegularInto(nL, t.k, view, f.match)
+			if err != nil {
+				return fmt.Errorf("edgecolor: peeling matching at degree %d: %w", t.k, err)
+			}
+			f.inMatch = f.inMatch.Resize(len(seg))
+			for _, j := range f.match[:nMatch] {
+				colors[seg[j]] = t.base + t.k - 1
+				f.inMatch.Set(j)
+			}
+			restLen := f.compact(t.lo, len(seg))
+			f.stack = append(f.stack, segTask{lo: t.lo, hi: t.lo + restLen, k: t.k - 1, base: t.base})
+		default:
+			view := f.gather(all, seg)
+			nA, _, err := f.split.Split(nL, nR, view, f.outA, f.outB)
+			if err != nil {
+				return err
+			}
+			// Reorder the segment to A-half then B-half, in traversal order
+			// — the order a materialized subgraph would list its edges in.
+			nB := len(seg) - nA
+			for j := 0; j < nA; j++ {
+				f.tmp[j] = seg[f.outA[j]]
+			}
+			for j := 0; j < nB; j++ {
+				f.tmp[nA+j] = seg[f.outB[j]]
+			}
+			copy(seg, f.tmp[:len(seg)])
+			f.stack = append(f.stack,
+				segTask{lo: t.lo + nA, hi: t.hi, k: t.k / 2, base: t.base + t.k/2},
+				segTask{lo: t.lo, hi: t.lo + nA, k: t.k / 2, base: t.base})
+		}
+	}
+	return nil
+}
+
+// factorizeRepeated extracts k perfect matchings one at a time with
+// Hopcroft–Karp, compacting the surviving segment after each round.
+func (f *Factorizer) factorizeRepeated(colors []int, b *graph.Bipartite, k int) error {
+	m := b.NumEdges()
+	nL, nR := b.NLeft(), b.NRight()
+	f.prepare(m, nL)
+	all := b.EdgeList()
+	curLen := m
+	for round := 0; round < k; round++ {
+		view := f.gather(all, f.ids[:curLen])
+		nMatch := f.matcher.HopcroftKarpInto(nL, nR, view, f.match)
+		if nMatch != nL {
+			return fmt.Errorf("edgecolor: round %d: matching size %d of %d (graph not regular?)",
+				round, nMatch, nL)
+		}
+		f.inMatch = f.inMatch.Resize(curLen)
+		for _, j := range f.match[:nMatch] {
+			colors[f.ids[j]] = round
+			f.inMatch.Set(j)
+		}
+		curLen = f.compact(0, curLen)
+	}
+	return nil
+}

@@ -82,6 +82,12 @@ func (b *Bipartite) Edges() []Edge {
 	return out
 }
 
+// EdgeList returns the internal edge list indexed by edge ID, without
+// copying. The returned slice must not be modified and is invalidated by
+// AddEdge/Reset; it exists so the allocation-free matching and coloring
+// engines can scan edges without cloning CSR arrays per call.
+func (b *Bipartite) EdgeList() []Edge { return b.edges }
+
 // AdjL returns the IDs of edges incident with left node l. The returned
 // slice must not be modified.
 func (b *Bipartite) AdjL(l int) []int { return b.adjL[l] }

@@ -130,7 +130,8 @@ func Route(d, g int, reqs []Request, opts core.Options) (*Plan, error) {
 		return nil, fmt.Errorf("hrelation: internal padding imbalance (si=%d, di=%d)", si, di)
 	}
 
-	// Processor-level demand multigraph: h-regular by construction.
+	// Processor-level demand multigraph: h-regular by construction. Factor k
+	// lists the request indices of color class k, in ascending order.
 	demand := graph.New(n, n)
 	for _, r := range all {
 		demand.AddEdge(r.Src, r.Dst)

@@ -2,18 +2,9 @@ package matching
 
 import (
 	"fmt"
-	"sort"
 
 	"pops/internal/graph"
 )
-
-// dEntry is one distinct (left, right) pair of the implicit multiplicity
-// representation used by PerfectMatchingRegular. Dummy entries belong to the
-// padding diagonal, not to the input graph.
-type dEntry struct {
-	l, r  int
-	dummy bool
-}
 
 // PerfectMatchingRegular finds a perfect matching in a k-regular bipartite
 // multigraph with n nodes per side in O(m·log(nk)) time, using the
@@ -32,7 +23,10 @@ type dEntry struct {
 // each halving costs O(#distinct pairs + n), not O(2^t·n).
 //
 // It returns the matched edge IDs of b, or an error if b is not regular or
-// has unequal sides.
+// has unequal sides. It is the convenience form of
+// Matcher.PerfectMatchingRegularInto with a throwaway arena; repeated
+// callers (the edge-coloring Factorizer) hold a Matcher instead and stay
+// allocation-free.
 func PerfectMatchingRegular(b *graph.Bipartite) ([]int, error) {
 	n := b.NLeft()
 	if n != b.NRight() {
@@ -45,123 +39,11 @@ func PerfectMatchingRegular(b *graph.Bipartite) ([]int, error) {
 	if !ok {
 		return nil, graph.ErrNotBipartiteRegular
 	}
-	if k == 0 {
-		return nil, fmt.Errorf("matching: 0-regular graph has no perfect matching")
+	var m Matcher
+	out := make([]int, n)
+	outN, err := m.PerfectMatchingRegularInto(n, k, b.EdgeList(), out)
+	if err != nil {
+		return nil, err
 	}
-	if k == 1 {
-		out := make([]int, 0, n)
-		for l := 0; l < n; l++ {
-			out = append(out, b.AdjL(l)[0])
-		}
-		return out, nil
-	}
-
-	// Index real edges by node pair so the abstract matching found on
-	// multiplicity counters can be mapped back to concrete edge IDs.
-	pairEdges := make(map[[2]int][]int)
-	for id := 0; id < b.NumEdges(); id++ {
-		e := b.Edge(id)
-		key := [2]int{e.L, e.R}
-		pairEdges[key] = append(pairEdges[key], id)
-	}
-
-	// Choose t with 2^t >= n*k, so beta*n <= (k-1)*n < 2^t.
-	t := 0
-	for (1 << t) < n*k {
-		t++
-	}
-	pow := 1 << t
-	alpha := pow / k
-	beta := pow - alpha*k
-
-	cur := make(map[dEntry]int, len(pairEdges)+n)
-	for key, ids := range pairEdges {
-		cur[dEntry{key[0], key[1], false}] = alpha * len(ids)
-	}
-	if beta > 0 {
-		for i := 0; i < n; i++ {
-			cur[dEntry{i, i, true}] += beta
-		}
-	}
-
-	for step := 0; step < t; step++ {
-		halfA := make(map[dEntry]int, len(cur))
-		halfB := make(map[dEntry]int, len(cur))
-		// Whole parallel pairs split evenly without touching the Euler tour;
-		// odd leftovers (at most one per distinct entry) form an all-even-
-		// degree leftover graph that EulerSplit partitions exactly.
-		leftEntries := make([]dEntry, 0, len(cur))
-		for en, c := range cur {
-			if c/2 > 0 {
-				halfA[en] = c / 2
-				halfB[en] = c / 2
-			}
-			if c%2 == 1 {
-				leftEntries = append(leftEntries, en)
-			}
-		}
-		// Deterministic edge order regardless of map iteration order.
-		sort.Slice(leftEntries, func(i, j int) bool {
-			a, b := leftEntries[i], leftEntries[j]
-			if a.l != b.l {
-				return a.l < b.l
-			}
-			if a.r != b.r {
-				return a.r < b.r
-			}
-			return !a.dummy && b.dummy
-		})
-		leftover := graph.New(n, n)
-		for _, en := range leftEntries {
-			leftover.AddEdge(en.l, en.r)
-		}
-		a, bb, err := graph.EulerSplit(leftover)
-		if err != nil {
-			return nil, fmt.Errorf("matching: internal halving failure: %w", err)
-		}
-		for _, id := range a {
-			halfA[leftEntries[id]]++
-		}
-		for _, id := range bb {
-			halfB[leftEntries[id]]++
-		}
-		if dummyCount(halfA) <= dummyCount(halfB) {
-			cur = halfA
-		} else {
-			cur = halfB
-		}
-	}
-
-	if d := dummyCount(cur); d != 0 {
-		return nil, fmt.Errorf("matching: internal error: %d dummy edges survived halving", d)
-	}
-	// cur is 1-regular: exactly one real entry per left node, count 1 each.
-	out := make([]int, 0, n)
-	usedPerPair := make(map[[2]int]int, n)
-	for en, c := range cur {
-		for i := 0; i < c; i++ {
-			key := [2]int{en.l, en.r}
-			idx := usedPerPair[key]
-			ids := pairEdges[key]
-			if idx >= len(ids) {
-				return nil, fmt.Errorf("matching: internal error: pair (%d,%d) overused", en.l, en.r)
-			}
-			usedPerPair[key] = idx + 1
-			out = append(out, ids[idx])
-		}
-	}
-	if err := VerifyMatching(b, out, true); err != nil {
-		return nil, fmt.Errorf("matching: internal error: %w", err)
-	}
-	return out, nil
-}
-
-func dummyCount(m map[dEntry]int) int {
-	total := 0
-	for en, c := range m {
-		if en.dummy {
-			total += c
-		}
-	}
-	return total
+	return out[:outN], nil
 }

@@ -60,88 +60,6 @@ func Kuhn(b *graph.Bipartite) []int {
 		epoch++
 		try(l)
 	}
-	return collect(matchL)
-}
-
-// HopcroftKarp computes a maximum matching in O(E·√V) and returns the IDs of
-// the matched edges.
-func HopcroftKarp(b *graph.Bipartite) []int {
-	nL, nR := b.NLeft(), b.NRight()
-	matchL := make([]int, nL) // left -> edge ID or -1
-	matchR := make([]int, nR)
-	for i := range matchL {
-		matchL[i] = -1
-	}
-	for i := range matchR {
-		matchR[i] = -1
-	}
-
-	const inf = int(^uint(0) >> 1)
-	dist := make([]int, nL)
-	queue := make([]int, 0, nL)
-
-	bfs := func() bool {
-		queue = queue[:0]
-		for l := 0; l < nL; l++ {
-			if matchL[l] == -1 {
-				dist[l] = 0
-				queue = append(queue, l)
-			} else {
-				dist[l] = inf
-			}
-		}
-		found := false
-		for qi := 0; qi < len(queue); qi++ {
-			l := queue[qi]
-			for _, id := range b.AdjL(l) {
-				r := b.Edge(id).R
-				m := matchR[r]
-				if m == -1 {
-					found = true
-					continue
-				}
-				nl := b.Edge(m).L
-				if dist[nl] == inf {
-					dist[nl] = dist[l] + 1
-					queue = append(queue, nl)
-				}
-			}
-		}
-		return found
-	}
-
-	var dfs func(l int) bool
-	dfs = func(l int) bool {
-		for _, id := range b.AdjL(l) {
-			r := b.Edge(id).R
-			m := matchR[r]
-			if m == -1 {
-				matchL[l] = id
-				matchR[r] = id
-				return true
-			}
-			nl := b.Edge(m).L
-			if dist[nl] == dist[l]+1 && dfs(nl) {
-				matchL[l] = id
-				matchR[r] = id
-				return true
-			}
-		}
-		dist[l] = inf
-		return false
-	}
-
-	for bfs() {
-		for l := 0; l < nL; l++ {
-			if matchL[l] == -1 {
-				dfs(l)
-			}
-		}
-	}
-	return collect(matchL)
-}
-
-func collect(matchL []int) []int {
 	out := make([]int, 0, len(matchL))
 	for _, id := range matchL {
 		if id != -1 {
@@ -149,6 +67,23 @@ func collect(matchL []int) []int {
 		}
 	}
 	return out
+}
+
+// HopcroftKarp computes a maximum matching in O(E·√V) and returns the IDs of
+// the matched edges, in left-node order. It is the convenience form of
+// Matcher.HopcroftKarpInto with a throwaway arena; repeated callers (the
+// edge-coloring Factorizer) hold a Matcher instead and stay
+// allocation-free.
+func HopcroftKarp(b *graph.Bipartite) []int {
+	nL, nR := b.NLeft(), b.NRight()
+	size := nL
+	if nR < size {
+		size = nR
+	}
+	var m Matcher
+	out := make([]int, size)
+	n := m.HopcroftKarpInto(nL, nR, b.EdgeList(), out)
+	return out[:n]
 }
 
 // VerifyMatching checks that ids is a matching of b (no two edges share an

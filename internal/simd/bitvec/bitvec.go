@@ -1,0 +1,107 @@
+// Package bitvec provides the dense bit-vector membership sets used by the
+// allocation-free edge-coloring engine. A Vec packs 64 membership bits per
+// word, so the hot scans of the planner (matched-edge membership during
+// class compaction, visited-edge marks during Euler tours) walk whole words
+// with math/bits instead of hashing into map[int]bool — the word-at-a-time
+// counterpart of the SIMD adjacency-walk item on the roadmap.
+//
+// Vecs are plain []uint64 slices so callers can keep them inside reusable
+// arenas: Resize grows in place when capacity allows and clears the live
+// prefix, making the steady state allocation-free.
+package bitvec
+
+import "math/bits"
+
+// Vec is a fixed-capacity bit vector. The value semantics are those of a
+// slice: copies alias the same words.
+type Vec []uint64
+
+const wordBits = 64
+
+// Words returns the number of 64-bit words needed for n bits.
+func Words(n int) int { return (n + wordBits - 1) / wordBits }
+
+// Make returns a zeroed Vec with capacity for n bits.
+func Make(n int) Vec { return make(Vec, Words(n)) }
+
+// Resize returns a zeroed Vec with capacity for n bits, reusing v's storage
+// when it is large enough. Use it to recycle a scratch set across calls:
+//
+//	v = v.Resize(m) // all bits clear, no allocation once warm
+func (v Vec) Resize(n int) Vec {
+	w := Words(n)
+	if cap(v) < w {
+		return make(Vec, w)
+	}
+	v = v[:w]
+	v.Reset()
+	return v
+}
+
+// Reset clears every bit.
+func (v Vec) Reset() {
+	for i := range v {
+		v[i] = 0
+	}
+}
+
+// Set sets bit i.
+func (v Vec) Set(i int) { v[i/wordBits] |= 1 << (uint(i) % wordBits) }
+
+// Clear clears bit i.
+func (v Vec) Clear(i int) { v[i/wordBits] &^= 1 << (uint(i) % wordBits) }
+
+// Test reports whether bit i is set.
+func (v Vec) Test(i int) bool { return v[i/wordBits]&(1<<(uint(i)%wordBits)) != 0 }
+
+// Count returns the number of set bits among the first n.
+func (v Vec) Count(n int) int {
+	full := n / wordBits
+	total := 0
+	for i := 0; i < full; i++ {
+		total += bits.OnesCount64(v[i])
+	}
+	if rem := n % wordBits; rem > 0 {
+		total += bits.OnesCount64(v[full] & (1<<uint(rem) - 1))
+	}
+	return total
+}
+
+// AppendSet appends the indices of the set bits among the first n to dst and
+// returns the extended slice. The scan is a word walk: zero words cost one
+// comparison, and set bits are located with TrailingZeros64.
+func (v Vec) AppendSet(dst []int, n int) []int {
+	for wi, w := range v[:Words(n)] {
+		base := wi * wordBits
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			i := base + b
+			if i >= n {
+				return dst
+			}
+			dst = append(dst, i)
+			w &= w - 1
+		}
+	}
+	return dst
+}
+
+// AppendClear appends the indices of the clear bits among the first n to dst
+// and returns the extended slice — the complement walk used to collect the
+// unmatched edges of a color class without a per-edge map lookup.
+func (v Vec) AppendClear(dst []int, n int) []int {
+	for wi, w := range v[:Words(n)] {
+		base := wi * wordBits
+		w = ^w
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			i := base + b
+			if i >= n {
+				return dst
+			}
+			dst = append(dst, i)
+			w &= w - 1
+		}
+	}
+	return dst
+}

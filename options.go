@@ -27,6 +27,21 @@ func WithParallelism(n int) Option {
 	return func(o *Options) { o.Parallelism = n }
 }
 
+// WithPlanNoCopy makes Theorem 2 Plans alias the caller's permutation slice
+// instead of copying it into the Plan. By default every Plan owns all memory
+// it references, so callers may freely reuse their pi buffers; with this
+// option that one O(n) defensive copy per plan is skipped.
+//
+// Ownership contract: the caller must keep the permutation slice alive and
+// unmodified for as long as the Plan is used — Plan.Pi, Plan.Verify and the
+// simulator replay all read it. Reusing a request buffer across Route calls
+// while earlier Plans are still live is a data race under this option. Batch
+// callers whose permutations are immutable for the batch lifetime (the
+// intended use) get measurably lower planning overhead; see the BENCH notes.
+func WithPlanNoCopy() Option {
+	return func(o *Options) { o.PlanNoCopy = true }
+}
+
 // NewOptions resolves functional options into the Options struct accepted by
 // the lower-level constructors (mesh.New, hypercube.New, matmul.Multiply and
 // the internal planners).
