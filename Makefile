@@ -3,7 +3,7 @@
 
 DATE := $(shell date +%F)
 
-.PHONY: build test vet race bench bench-smoke alloc-guard
+.PHONY: build test vet race bench bench-smoke alloc-guard serve-smoke
 
 build:
 	go build ./...
@@ -15,7 +15,13 @@ vet:
 	go vet ./...
 
 race:
-	go test -race .
+	go test -race . ./internal/service/... ./cmd/popsserved
+
+# End-to-end serving smoke: start popsserved on an ephemeral port, route a
+# permutation through pops.ServiceClient, and assert the second call is
+# answered by the fingerprint plan cache (plan flag + /stats hit counter).
+serve-smoke:
+	go test -run TestServeSmoke -count=1 -v ./cmd/popsserved
 
 # Record a BENCH_<date>.json with the benchmark set the baselines use.
 # Override the output or note: make bench BENCH_OUT=BENCH_x.json BENCH_NOTE="..."

@@ -1,0 +1,178 @@
+package pops
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"pops/internal/wire"
+)
+
+// The JSON wire schema of the popsserved routing service, shared with
+// internal/service. ServiceClient speaks it; callers embedding pops into
+// their own services can reuse the types directly.
+type (
+	// ServiceRouteRequest is the body of POST /route.
+	ServiceRouteRequest = wire.RouteRequest
+	// ServicePlan is one planned permutation of a route response. Either
+	// its Error field is set or its plan fields are.
+	ServicePlan = wire.PlanResult
+	// ServiceRouteResponse is the body answering POST /route.
+	ServiceRouteResponse = wire.RouteResponse
+	// ServiceStats is the body answering GET /stats.
+	ServiceStats = wire.StatsResponse
+)
+
+// ServiceClient is the Go client of a popsserved routing service (see
+// cmd/popsserved and internal/service): plans are requested over HTTP/JSON
+// instead of computed in-process, so many processes can share one warm
+// planner fleet — its shards, micro-batches, and fingerprint plan cache.
+// The zero cost of coalescing happens server-side; the client is a thin,
+// concurrency-safe HTTP wrapper.
+type ServiceClient struct {
+	base string
+	hc   *http.Client
+}
+
+// NewServiceClient returns a client for the service at baseURL (e.g.
+// "http://127.0.0.1:8714"). A nil hc selects http.DefaultClient.
+func NewServiceClient(baseURL string, hc *http.Client) *ServiceClient {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &ServiceClient{base: strings.TrimRight(baseURL, "/"), hc: hc}
+}
+
+// Do posts one ServiceRouteRequest and returns the decoded response. It is
+// the general form behind Route and RouteBatch: callers use it to select a
+// strategy or ask for full schedules (IncludeSchedule).
+func (c *ServiceClient) Do(ctx context.Context, req *ServiceRouteRequest) (*ServiceRouteResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("pops: encoding route request: %w", err)
+	}
+	var resp ServiceRouteResponse
+	if err := c.post(ctx, "/route", body, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Route plans one permutation on POPS(d, g) with the default (Theorem 2)
+// strategy. A per-permutation planning failure is returned as an error.
+func (c *ServiceClient) Route(ctx context.Context, d, g int, pi []int) (*ServicePlan, error) {
+	resp, err := c.Do(ctx, &ServiceRouteRequest{D: d, G: g, Pi: pi})
+	if err != nil {
+		return nil, err
+	}
+	if len(resp.Plans) != 1 {
+		return nil, fmt.Errorf("pops: service returned %d plans for one permutation", len(resp.Plans))
+	}
+	plan := &resp.Plans[0]
+	if plan.Error != "" {
+		return nil, fmt.Errorf("pops: service: %s", plan.Error)
+	}
+	return plan, nil
+}
+
+// RouteBatch plans a batch of permutations on POPS(d, g) with the default
+// strategy, returning one ServicePlan per permutation in input order.
+// Per-permutation failures stay in the corresponding ServicePlan.Error,
+// matching the Planner.RouteBatch contract.
+func (c *ServiceClient) RouteBatch(ctx context.Context, d, g int, pis [][]int) ([]ServicePlan, error) {
+	resp, err := c.Do(ctx, &ServiceRouteRequest{D: d, G: g, Pis: pis})
+	if err != nil {
+		return nil, err
+	}
+	if len(resp.Plans) != len(pis) {
+		return nil, fmt.Errorf("pops: service returned %d plans for %d permutations", len(resp.Plans), len(pis))
+	}
+	return resp.Plans, nil
+}
+
+// Slots returns the Theorem 2 slot count the service will use for every
+// permutation on POPS(d, g).
+func (c *ServiceClient) Slots(ctx context.Context, d, g int) (int, error) {
+	var resp wire.SlotsResponse
+	if err := c.get(ctx, fmt.Sprintf("/slots?d=%d&g=%d", d, g), &resp); err != nil {
+		return 0, err
+	}
+	return resp.Slots, nil
+}
+
+// Stats snapshots the service's shard, cache, batching, and latency
+// counters.
+func (c *ServiceClient) Stats(ctx context.Context) (*ServiceStats, error) {
+	var resp ServiceStats
+	if err := c.get(ctx, "/stats", &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Healthz reports service liveness: nil while the service admits requests.
+func (c *ServiceClient) Healthz(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("pops: service health check: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("pops: service unhealthy: %s", readError(resp))
+	}
+	return nil
+}
+
+func (c *ServiceClient) post(ctx context.Context, path string, body []byte, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return c.roundTrip(req, out)
+}
+
+func (c *ServiceClient) get(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return err
+	}
+	return c.roundTrip(req, out)
+}
+
+func (c *ServiceClient) roundTrip(req *http.Request, out any) error {
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("pops: service request %s: %w", req.URL.Path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("pops: service %s: %s", req.URL.Path, readError(resp))
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("pops: decoding service %s response: %w", req.URL.Path, err)
+	}
+	return nil
+}
+
+// readError summarizes a non-200 response: status plus the first line of the
+// body, which the service fills with the request-level error text.
+func readError(resp *http.Response) string {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+	msg := strings.TrimSpace(string(body))
+	if msg == "" {
+		return resp.Status
+	}
+	if i := strings.IndexByte(msg, '\n'); i >= 0 {
+		msg = msg[:i]
+	}
+	return fmt.Sprintf("%s: %s", resp.Status, msg)
+}

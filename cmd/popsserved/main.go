@@ -1,0 +1,118 @@
+// Command popsserved is the long-running POPS routing service: a sharded
+// planner server (internal/service) speaking HTTP/JSON. One planner shard
+// is created lazily per requested POPS(d, g) shape (LRU-bounded), each
+// shard micro-batches concurrent requests onto the batch planner, and a
+// fingerprint plan cache answers recurring permutations without replanning.
+//
+// Endpoints: POST /route, GET /slots, GET /stats, GET /healthz — see
+// internal/wire for the JSON schema and pops.ServiceClient for the Go
+// client. SIGINT/SIGTERM trigger graceful shutdown: the listener stops, and
+// in-flight micro-batches drain before the process exits.
+//
+// Usage:
+//
+//	popsserved -addr :8714 -batch 32 -batch-delay 1ms -cache 1024 -max-shards 64
+//	curl -s localhost:8714/route -d '{"d":8,"g":8,"pi":[63,62,...,0]}'
+//	curl -s 'localhost:8714/slots?d=8&g=8'
+//	curl -s localhost:8714/stats
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"pops"
+	"pops/internal/service"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "popsserved:", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the service and blocks until ctx is canceled, then shuts down
+// gracefully: listener first, then the service drain. ready, when non-nil,
+// receives the bound address once the server accepts connections — the
+// smoke test uses it with ":0" to avoid port races.
+func run(ctx context.Context, args []string, stdout io.Writer, ready chan<- net.Addr) error {
+	fs := flag.NewFlagSet("popsserved", flag.ContinueOnError)
+	var (
+		addr       = fs.String("addr", ":8714", "listen address")
+		batch      = fs.Int("batch", 32, "micro-batch flush size per shard")
+		batchDelay = fs.Duration("batch-delay", time.Millisecond, "micro-batch flush deadline")
+		cache      = fs.Int("cache", 1024, "per-shard plan cache entries (0 disables)")
+		maxShards  = fs.Int("max-shards", 64, "live planner shards (LRU bound)")
+		par        = fs.Int("parallelism", 0, "workers per shard batch (0 = GOMAXPROCS)")
+		verify     = fs.Bool("verify", false, "replay every schedule on the simulator before serving it")
+		drainWait  = fs.Duration("drain", 10*time.Second, "graceful shutdown deadline for open connections")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var opts []pops.Option
+	if *par > 0 {
+		opts = append(opts, pops.WithParallelism(*par))
+	}
+	if *verify {
+		opts = append(opts, pops.WithVerify(true))
+	}
+	cacheSize := *cache
+	if cacheSize <= 0 {
+		cacheSize = -1 // Config: negative disables, zero means default
+	}
+	svc := service.New(service.Config{
+		MaxShards:      *maxShards,
+		BatchSize:      *batch,
+		BatchDelay:     *batchDelay,
+		CacheSize:      cacheSize,
+		PlannerOptions: opts,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: svc.Handler()}
+	fmt.Fprintf(stdout, "popsserved: listening on %s (batch=%d delay=%s cache=%d shards≤%d)\n",
+		ln.Addr(), *batch, *batchDelay, *cache, *maxShards)
+	if ready != nil {
+		ready <- ln.Addr()
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		svc.Close()
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: stop accepting and let open connections finish,
+	// then drain the shards' in-flight micro-batches.
+	fmt.Fprintln(stdout, "popsserved: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	shutdownErr := srv.Shutdown(shutdownCtx)
+	svc.Close()
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	fmt.Fprintln(stdout, "popsserved: drained")
+	return shutdownErr
+}

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"pops"
+)
+
+// TestServeSmoke is the end-to-end smoke `make serve-smoke` runs: start
+// popsserved on an ephemeral port, route one permutation through the Go
+// client, route it again, and assert the second answer came from the
+// fingerprint plan cache (both on the plan's cached flag and the /stats hit
+// counter), then shut down gracefully.
+func TestServeSmoke(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ready := make(chan net.Addr, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-batch-delay", "200us"}, testWriter{t}, ready)
+	}()
+	var addr net.Addr
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("server exited before ready: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
+
+	client := pops.NewServiceClient("http://"+addr.String(), nil)
+	if err := client.Healthz(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	const d, g = 4, 8
+	pi := pops.VectorReversal(d * g)
+	first, err := client.Route(ctx, d, g, pi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Cached {
+		t.Fatal("first route reported a cache hit")
+	}
+	if first.Slots != pops.OptimalSlots(d, g) {
+		t.Fatalf("slots = %d, want %d", first.Slots, pops.OptimalSlots(d, g))
+	}
+	second, err := client.Route(ctx, d, g, pi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Cached {
+		t.Fatal("second route of the same permutation was not a cache hit")
+	}
+	stats, err := client.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.CacheHits < 1 {
+		t.Fatalf("stats.cache_hits = %d, want ≥ 1", stats.CacheHits)
+	}
+	if stats.ShardCount != 1 || stats.Requests != 2 {
+		t.Fatalf("stats = %+v, want 1 shard, 2 requests", stats)
+	}
+
+	// Graceful shutdown must complete promptly.
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("server did not drain within 15s")
+	}
+}
+
+// TestRunRejectsBadFlags pins flag-parse failures to an error, not an
+// os.Exit deep in the run path.
+func TestRunRejectsBadFlags(t *testing.T) {
+	err := run(context.Background(), []string{"-batch", "x"}, testWriter{t}, nil)
+	if err == nil {
+		t.Fatal("bad flags accepted")
+	}
+}
+
+// TestRunFailsOnUnusableAddr covers the listen error path.
+func TestRunFailsOnUnusableAddr(t *testing.T) {
+	err := run(context.Background(), []string{"-addr", "256.256.256.256:1"}, testWriter{t}, nil)
+	if err == nil {
+		t.Fatal("unusable address accepted")
+	}
+}
+
+// testWriter routes the server's stdout lines into the test log.
+type testWriter struct{ t *testing.T }
+
+func (w testWriter) Write(p []byte) (int, error) {
+	w.t.Logf("%s", p)
+	return len(p), nil
+}

@@ -1,0 +1,101 @@
+// Serving routing plans over the network: starts the sharded planner
+// service (the subsystem behind cmd/popsserved) on an ephemeral port and
+// drives it with pops.ServiceClient — two POPS shapes, a batched BPC family
+// sweep, and a repeated mesh-shift permutation answered by the fingerprint
+// plan cache. The final /stats snapshot shows the shard registry, the
+// micro-batch coalescing, and the cache hit counter at work.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+
+	"pops"
+	"pops/internal/service"
+)
+
+func main() {
+	// In production this is `popsserved -addr :8714`; here the service runs
+	// in-process so the example is self-contained.
+	svc := service.New(service.Config{BatchSize: 16})
+	defer svc.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{Handler: svc.Handler()}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	ctx := context.Background()
+	client := pops.NewServiceClient("http://"+ln.Addr().String(), nil)
+	if err := client.Healthz(ctx); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("popsserved speaking on %s\n\n", ln.Addr())
+
+	// Two shapes served by one process: each gets its own planner shard,
+	// created lazily on first use.
+	for _, shape := range []struct{ d, g int }{{8, 8}, {16, 4}} {
+		slots, err := client.Slots(ctx, shape.d, shape.g)
+		if err != nil {
+			log.Fatal(err)
+		}
+		plan, err := client.Route(ctx, shape.d, shape.g, pops.VectorReversal(shape.d*shape.g))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("POPS(%2d,%2d)  reversal: %d slots (= predicted %d), strategy %s\n",
+			shape.d, shape.g, plan.Slots, slots, plan.Strategy)
+	}
+
+	// A BPC family sweep as one wire batch: the server coalesces it onto
+	// the planner's RouteBatch, so the arena-backed coloring engine is
+	// amortized across the whole family.
+	const bits = 6 // n = 64 on POPS(8,8)
+	var pis [][]int
+	for b := 0; b < bits; b++ {
+		ex, err := pops.HypercubeExchange(bits, b)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pis = append(pis, ex.Permutation())
+	}
+	plans, err := client.RouteBatch(ctx, 8, 8, pis)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nhypercube exchange family (%d permutations) as one batch:\n", len(pis))
+	for b, plan := range plans {
+		fmt.Printf("  bit %d: %d slots, fingerprint %s\n", b, plan.Slots, plan.Fingerprint)
+	}
+
+	// Recurring traffic: the same mesh shift requested three times. The
+	// first plans, the rest are answered from the fingerprint plan cache.
+	shift, err := pops.MeshShift(8, 8, 1, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nmesh shift (1,2) requested three times:\n")
+	for i := 0; i < 3; i++ {
+		plan, err := client.Route(ctx, 8, 8, shift)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  request %d: %d slots, cached=%v\n", i+1, plan.Slots, plan.Cached)
+	}
+
+	stats, err := client.Stats(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n/stats: %d shards, %d requests, cache %d hits / %d misses\n",
+		stats.ShardCount, stats.Requests, stats.CacheHits, stats.CacheMisses)
+	for _, sh := range stats.Shards {
+		fmt.Printf("  POPS(%2d,%2d): %d requests in %d batches (max batch %d)\n",
+			sh.D, sh.G, sh.Requests, sh.Batches, sh.MaxBatch)
+	}
+}

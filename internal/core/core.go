@@ -57,6 +57,10 @@ type Options struct {
 	// in use. Batch services that keep their permutations immutable set
 	// this to drop one O(n) copy per plan.
 	PlanNoCopy bool
+	// PlanCache bounds the fingerprint-keyed plan memoization of the public
+	// Planner to this many entries (LRU). Zero or negative disables caching.
+	// The cache lives in the public layer; core planners always plan.
+	PlanCache int
 }
 
 // snapshotPerm resolves Plan permutation ownership: by default the

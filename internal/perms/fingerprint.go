@@ -1,0 +1,33 @@
+package perms
+
+// Fingerprint returns a 64-bit content fingerprint of pi, the cache key of
+// the plan-memoization layers: two equal permutations always fingerprint
+// identically, and distinct permutations collide with probability ~2⁻⁶⁴.
+// Because a 64-bit digest cannot be collision-free, caches keyed by it must
+// verify equality (Equal) on every hit before trusting the stored plan.
+//
+// The hash is an FNV-1a walk over the elements (order-sensitive, so
+// transpositions change the digest) seeded with the length, followed by a
+// 64-bit finalizer (the murmur3 avalanche) so that low-entropy inputs —
+// permutations differ only in small integers — still spread over the whole
+// output space. It allocates nothing and needs one multiply per element.
+func Fingerprint(pi []int) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	h = (h ^ uint64(len(pi))) * prime64
+	for _, v := range pi {
+		h = (h ^ uint64(v)) * prime64
+	}
+	// Finalizer: murmur3's 64-bit avalanche. FNV-1a alone mixes the last
+	// few elements weakly into the high bits; the avalanche makes every
+	// input bit flip every output bit with probability ~1/2.
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}

@@ -1,0 +1,130 @@
+package perms
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// permutations appends every permutation of {0,…,n−1} to out via Heap's
+// algorithm. Used to check Fingerprint exhaustively on small n.
+func permutations(n int) [][]int {
+	var out [][]int
+	pi := Identity(n)
+	var heap func(k int)
+	heap = func(k int) {
+		if k == 1 {
+			out = append(out, append([]int(nil), pi...))
+			return
+		}
+		for i := 0; i < k; i++ {
+			heap(k - 1)
+			if k%2 == 0 {
+				pi[i], pi[k-1] = pi[k-1], pi[i]
+			} else {
+				pi[0], pi[k-1] = pi[k-1], pi[0]
+			}
+		}
+	}
+	heap(n)
+	return out
+}
+
+// TestFingerprintDistinctOnAllSmallPermutations is the exhaustive collision
+// sanity check: across every permutation of every n ≤ 7 (1+2+6+…+5040 =
+// 5913 inputs, including the cross-length pairs) no two fingerprints
+// coincide. A 64-bit hash with independent outputs would collide here with
+// probability < 2⁻⁴⁰, so any collision indicates structural weakness.
+func TestFingerprintDistinctOnAllSmallPermutations(t *testing.T) {
+	seen := make(map[uint64][]int)
+	for n := 1; n <= 7; n++ {
+		for _, pi := range permutations(n) {
+			fp := Fingerprint(pi)
+			if prev, ok := seen[fp]; ok {
+				t.Fatalf("Fingerprint collision: %v and %v both hash to %#016x", prev, pi, fp)
+			}
+			seen[fp] = pi
+		}
+	}
+}
+
+// TestFingerprintSensitiveToTranspositions checks order sensitivity: every
+// adjacent transposition of a structured permutation changes the digest.
+// (A hash that merely summed its elements would pass the value tests but
+// fail this one.)
+func TestFingerprintSensitiveToTranspositions(t *testing.T) {
+	const n = 64
+	base := VectorReversal(n)
+	fp := Fingerprint(base)
+	for i := 0; i+1 < n; i++ {
+		swapped := append([]int(nil), base...)
+		swapped[i], swapped[i+1] = swapped[i+1], swapped[i]
+		if got := Fingerprint(swapped); got == fp {
+			t.Fatalf("swapping positions %d,%d left the fingerprint unchanged (%#016x)", i, i+1, fp)
+		}
+	}
+}
+
+// TestFingerprintDeterministicAndEqualOnCopies pins the two properties a
+// cache key needs: pure function of content (copies hash alike) and
+// stability across calls.
+func TestFingerprintDeterministicAndEqualOnCopies(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 32; trial++ {
+		pi := Random(256, rng)
+		cp := append([]int(nil), pi...)
+		if Fingerprint(pi) != Fingerprint(cp) {
+			t.Fatal("equal permutations fingerprint differently")
+		}
+		if Fingerprint(pi) != Fingerprint(pi) {
+			t.Fatal("fingerprint is not deterministic")
+		}
+	}
+}
+
+// TestFingerprintStructuredFamiliesDistinct feeds the recurring cache
+// workloads named in the ROADMAP — mesh shifts and BPC-style structured
+// permutations on one shape — and requires pairwise-distinct keys, since
+// these are exactly the families a plan cache must keep apart.
+func TestFingerprintStructuredFamiliesDistinct(t *testing.T) {
+	const rows, cols = 16, 16
+	seen := make(map[uint64]string)
+	add := func(name string, pi []int) {
+		t.Helper()
+		fp := Fingerprint(pi)
+		if prev, ok := seen[fp]; ok {
+			t.Fatalf("families %s and %s share fingerprint %#016x", prev, name, fp)
+		}
+		seen[fp] = name
+	}
+	for dr := 0; dr < rows; dr++ {
+		for dc := 0; dc < cols; dc++ {
+			pi, err := MeshShift(rows, cols, dr, dc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			add("meshshift", pi)
+		}
+	}
+	add("reversal", VectorReversal(rows*cols))
+	add("transpose", Transpose(rows, cols))
+	for s := 1; s < rows*cols; s += 17 {
+		add("cyclic", CyclicShift(rows*cols, s))
+	}
+}
+
+// BenchmarkFingerprint measures the cache-key cost the serving path pays per
+// request, at the batch sizes the planner shards see (n = d·g).
+func BenchmarkFingerprint(b *testing.B) {
+	for _, n := range []int{64, 1024, 16384} {
+		pi := VectorReversal(n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			var sink uint64
+			for i := 0; i < b.N; i++ {
+				sink ^= Fingerprint(pi)
+			}
+			_ = sink
+		})
+	}
+}

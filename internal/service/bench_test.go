@@ -1,0 +1,103 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"pops"
+)
+
+// BenchmarkServiceRoute measures the full wire path (HTTP/JSON round-trip,
+// admission queue, planner) for one permutation per request: cold misses on
+// the "miss" variant (the cache is disabled) and warm fingerprint-cache hits
+// on the "hit" variant — the steady state of recurring-permutation traffic.
+func BenchmarkServiceRoute(b *testing.B) {
+	const d, g = 8, 8
+	pi := pops.VectorReversal(d * g)
+	run := func(b *testing.B, cfg Config) {
+		svc := New(cfg)
+		srv := httptest.NewServer(svc.Handler())
+		defer srv.Close()
+		defer svc.Close()
+		client := pops.NewServiceClient(srv.URL, srv.Client())
+		ctx := context.Background()
+		if _, err := client.Route(ctx, d, g, pi); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := client.Route(ctx, d, g, pi); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("hit", func(b *testing.B) {
+		run(b, Config{BatchDelay: 50 * time.Microsecond})
+	})
+	b.Run("miss", func(b *testing.B) {
+		run(b, Config{BatchDelay: 50 * time.Microsecond, CacheSize: -1})
+	})
+}
+
+// BenchmarkServiceRouteBatch measures wire-path batch throughput: one
+// request carrying a batch of distinct permutations, micro-batched onto
+// Planner.RouteBatch server-side. Reported per batch.
+func BenchmarkServiceRouteBatch(b *testing.B) {
+	const d, g = 8, 8
+	for _, size := range []int{8, 32} {
+		b.Run(fmt.Sprintf("batch=%d", size), func(b *testing.B) {
+			pis := make([][]int, size)
+			for i := range pis {
+				pi, err := pops.MeshShift(d, g, i%d, (i/d)%g)
+				if err != nil {
+					b.Fatal(err)
+				}
+				pis[i] = pi
+			}
+			svc := New(Config{BatchSize: size, BatchDelay: 50 * time.Microsecond, CacheSize: -1})
+			srv := httptest.NewServer(svc.Handler())
+			defer srv.Close()
+			defer svc.Close()
+			client := pops.NewServiceClient(srv.URL, srv.Client())
+			ctx := context.Background()
+			if _, err := client.RouteBatch(ctx, d, g, pis); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				plans, err := client.RouteBatch(ctx, d, g, pis)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(plans) != size {
+					b.Fatal("short batch")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkServiceInProcess isolates the serving layers without HTTP: the
+// admission queue + planner path as popsserved's handler sees it.
+func BenchmarkServiceInProcess(b *testing.B) {
+	const d, g = 8, 8
+	pi := pops.VectorReversal(d * g)
+	svc := New(Config{BatchDelay: 50 * time.Microsecond, CacheSize: -1})
+	defer svc.Close()
+	if _, err := svc.Route(d, g, pi, ""); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := svc.Route(d, g, pi, "")
+		if err != nil || res.Err != nil {
+			b.Fatal(err, res.Err)
+		}
+	}
+}

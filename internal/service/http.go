@@ -1,0 +1,137 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"pops"
+	"pops/internal/wire"
+)
+
+// maxRequestBody bounds /route bodies: the largest sensible request is a
+// batch of large permutations, far under this.
+const maxRequestBody = 64 << 20
+
+// Handler returns the service's HTTP surface:
+//
+//	POST /route    plan one permutation ("pi") or a batch ("pis")
+//	GET  /slots    Theorem 2 slot count for ?d=&g=
+//	GET  /stats    shard, cache, batching and latency counters
+//	GET  /healthz  liveness ("ok" until Close starts)
+//
+// Requests and responses use the JSON schema of internal/wire. Malformed
+// requests (bad JSON, invalid shape, unknown strategy) get 400; requests
+// admitted after Close starts get 503; per-permutation planning failures
+// travel as the error field of their PlanResult under a 200.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /route", s.handleRoute)
+	mux.HandleFunc("GET /slots", s.handleSlots)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v) // the connection is the only failure mode left here
+}
+
+// requestStatus maps a request-level error to its HTTP status.
+func requestStatus(err error) int {
+	if errors.Is(err, ErrClosed) {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusBadRequest
+}
+
+func (s *Service) handleRoute(w http.ResponseWriter, r *http.Request) {
+	var req wire.RouteRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
+	if err := dec.Decode(&req); err != nil {
+		http.Error(w, "service: decoding request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	single := len(req.Pi) > 0
+	batch := len(req.Pis) > 0
+	if single == batch {
+		http.Error(w, "service: exactly one of pi and pis must be set", http.StatusBadRequest)
+		return
+	}
+
+	resp := wire.RouteResponse{D: req.D, G: req.G}
+	if single {
+		res, err := s.Route(req.D, req.G, req.Pi, req.Strategy)
+		if err != nil {
+			http.Error(w, err.Error(), requestStatus(err))
+			return
+		}
+		resp.Plans = []wire.PlanResult{planResult(req.Pi, res, req.IncludeSchedule)}
+	} else {
+		results, err := s.RouteMany(req.D, req.G, req.Pis, req.Strategy)
+		if err != nil {
+			http.Error(w, err.Error(), requestStatus(err))
+			return
+		}
+		resp.Plans = make([]wire.PlanResult, len(results))
+		for i, res := range results {
+			resp.Plans[i] = planResult(req.Pis[i], res, req.IncludeSchedule)
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// planResult converts one planning outcome to its wire form.
+func planResult(pi []int, res Result, includeSchedule bool) wire.PlanResult {
+	if res.Err != nil {
+		return wire.PlanResult{Error: res.Err.Error()}
+	}
+	pr := wire.PlanResult{
+		Strategy:    res.Plan.Strategy,
+		Slots:       res.Plan.SlotCount(),
+		Rounds:      res.Plan.Rounds,
+		Fingerprint: fmt.Sprintf("%016x", pops.PermutationFingerprint(pi)),
+		Cached:      res.Cached,
+	}
+	if includeSchedule {
+		pr.Schedule = res.Plan.Schedule()
+	}
+	return pr
+}
+
+func (s *Service) handleSlots(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	d, errD := strconv.Atoi(q.Get("d"))
+	g, errG := strconv.Atoi(q.Get("g"))
+	if errD != nil || errG != nil {
+		http.Error(w, "service: /slots needs integer query parameters d and g", http.StatusBadRequest)
+		return
+	}
+	slots, err := s.Slots(d, g)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, http.StatusOK, wire.SlotsResponse{D: d, G: g, Slots: slots})
+}
+
+func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		http.Error(w, "shutting down", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}

@@ -1,0 +1,279 @@
+// Package service is the long-running serving layer over the pops planning
+// library: a sharded planner service with micro-batching and a fingerprint
+// plan cache, the subsystem behind cmd/popsserved.
+//
+// One shard wraps one pops.Planner per requested POPS(d, g) shape, created
+// lazily on first use and bounded by an LRU over live shards. Each shard
+// runs an admission queue that coalesces concurrent /route requests into
+// micro-batches (flushed on batch size or a small deadline) onto
+// Planner.RouteBatch, so the arena-backed allocation-free planning path is
+// amortized across the wire, and duplicate in-flight permutations collapse
+// onto a single planner invocation. Every shard's planner carries a
+// WithPlanCache fingerprint cache, so recurring permutation families (BPC,
+// mesh shifts) are answered without replanning; hit/miss counters and a
+// request-latency histogram are exported over GET /stats.
+//
+// The HTTP surface (Handler) speaks the JSON schema of internal/wire:
+// POST /route, GET /slots, GET /stats, GET /healthz. Close drains every
+// shard's in-flight batches before returning, which is what popsserved's
+// graceful shutdown calls after http.Server.Shutdown.
+package service
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pops"
+	"pops/internal/wire"
+)
+
+// Config tunes the service. The zero value selects the defaults noted on
+// each field.
+type Config struct {
+	// MaxShards bounds the number of live planner shards (distinct POPS
+	// shapes) via LRU eviction. Default 64.
+	MaxShards int
+	// BatchSize flushes a shard's admission queue once this many requests
+	// have coalesced. Default 32.
+	BatchSize int
+	// BatchDelay flushes a partial batch this long after its first request
+	// was admitted, bounding the latency cost of coalescing. Default 1ms.
+	BatchDelay time.Duration
+	// CacheSize is the per-shard fingerprint plan cache capacity in plans
+	// (pops.WithPlanCache). Default 1024; negative disables caching.
+	CacheSize int
+	// PlannerOptions are extra options applied to every shard's planner
+	// (e.g. pops.WithVerify, pops.WithParallelism, pops.WithAlgorithm).
+	PlannerOptions []pops.Option
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxShards <= 0 {
+		c.MaxShards = 64
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 32
+	}
+	if c.BatchDelay == 0 {
+		c.BatchDelay = time.Millisecond
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 1024
+	}
+	return c
+}
+
+// ErrClosed is returned for requests admitted after Close started.
+var ErrClosed = errors.New("service: shutting down")
+
+// shapeKey identifies one planner shard.
+type shapeKey struct{ d, g int }
+
+// Service is the sharded planner service. Create one with New, mount
+// Handler on an HTTP server, and Close it to drain in-flight batches on
+// shutdown. All methods are safe for concurrent use.
+type Service struct {
+	cfg Config
+
+	mu     sync.Mutex
+	shards map[shapeKey]*list.Element
+	lru    list.List // of *shard; front = most recently used
+	closed bool
+	wg     sync.WaitGroup // live shard loops
+
+	requests      atomic.Uint64
+	evictedShards atomic.Uint64
+	// retiredHits/Misses preserve the cache counters of evicted shards, so
+	// /stats totals survive shard churn.
+	retiredHits   atomic.Uint64
+	retiredMisses atomic.Uint64
+	latency       histogram
+}
+
+// New builds a Service with the given configuration.
+func New(cfg Config) *Service {
+	return &Service{
+		cfg:    cfg.withDefaults(),
+		shards: make(map[shapeKey]*list.Element),
+	}
+}
+
+// shardFor returns the live shard for POPS(d, g), creating it (and evicting
+// the least recently used shard past MaxShards) on first use.
+func (s *Service) shardFor(d, g int) (*shard, error) {
+	key := shapeKey{d, g}
+	var victim *shard
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if el, ok := s.shards[key]; ok {
+		s.lru.MoveToFront(el)
+		s.mu.Unlock()
+		return el.Value.(*shard), nil
+	}
+	sh, err := newShard(s, d, g)
+	if err != nil {
+		s.mu.Unlock()
+		return nil, err
+	}
+	s.shards[key] = s.lru.PushFront(sh)
+	if s.lru.Len() > s.cfg.MaxShards {
+		back := s.lru.Back()
+		victim = back.Value.(*shard)
+		delete(s.shards, victim.key)
+		s.lru.Remove(back)
+	}
+	s.wg.Add(1)
+	go sh.loop()
+	s.mu.Unlock()
+	if victim != nil {
+		s.retire(victim)
+	}
+	return sh, nil
+}
+
+// retire drains one evicted shard and folds its cache counters into the
+// service totals. It runs outside the registry lock: draining only depends
+// on the shard's own loop, which keeps consuming until the queue closes.
+func (s *Service) retire(sh *shard) {
+	sh.close()
+	<-sh.done
+	cs := sh.planner.CacheStats()
+	s.retiredHits.Add(cs.Hits)
+	s.retiredMisses.Add(cs.Misses)
+	s.evictedShards.Add(1)
+}
+
+// Route plans one permutation on POPS(d, g) through the shard's admission
+// queue (strategy "" or "theorem2") or directly through the named strategy
+// router. The returned error is request-level (invalid shape, unknown
+// strategy, service shutting down); per-permutation planning failures come
+// back in Result.Err, mirroring the batch contract.
+func (s *Service) Route(d, g int, pi []int, strategy string) (Result, error) {
+	start := time.Now()
+	defer func() { s.latency.observe(time.Since(start)) }()
+	s.requests.Add(1)
+	for {
+		sh, err := s.shardFor(d, g)
+		if err != nil {
+			return Result{}, err
+		}
+		res, err := sh.route(pi, strategy)
+		if err == errShardRetired {
+			continue // the shard was evicted between lookup and admission
+		}
+		if err != nil {
+			return Result{}, err
+		}
+		return res, nil
+	}
+}
+
+// RouteMany plans a batch of permutations on POPS(d, g). All entries are
+// admitted to the shard's queue before any result is awaited, so a batch
+// coalesces with itself (and with concurrent requests) onto RouteBatch.
+// Per-entry outcomes are independent: each result carries its own plan or
+// error, mirroring the pops.Planner.RouteBatch contract.
+func (s *Service) RouteMany(d, g int, pis [][]int, strategy string) ([]Result, error) {
+	start := time.Now()
+	defer func() { s.latency.observe(time.Since(start)) }()
+	s.requests.Add(uint64(len(pis)))
+	results := make([]Result, len(pis))
+	waiters := make([]chan Result, len(pis))
+	pending := pis
+	offset := 0
+	for len(pending) > 0 {
+		sh, err := s.shardFor(d, g)
+		if err != nil {
+			return nil, err
+		}
+		admitted := 0
+		retired := false
+		for i, pi := range pending {
+			ch, err := sh.admit(pi, strategy)
+			if err == errShardRetired {
+				retired = true
+				break
+			}
+			if err != nil {
+				return nil, err
+			}
+			waiters[offset+i] = ch
+			admitted++
+		}
+		for i := 0; i < admitted; i++ {
+			results[offset+i] = <-waiters[offset+i]
+		}
+		pending = pending[admitted:]
+		offset += admitted
+		if !retired && len(pending) > 0 {
+			// Unreachable: admit only stops early on retirement.
+			return nil, fmt.Errorf("service: batch admission stalled")
+		}
+	}
+	return results, nil
+}
+
+// Slots returns the Theorem 2 slot count for POPS(d, g) after validating
+// the shape.
+func (s *Service) Slots(d, g int) (int, error) {
+	if _, err := pops.NewNetwork(d, g); err != nil {
+		return 0, err
+	}
+	return pops.OptimalSlots(d, g), nil
+}
+
+// Stats snapshots the service counters: one entry per live shard plus
+// service-wide totals (cache counters include evicted shards).
+func (s *Service) Stats() wire.StatsResponse {
+	s.mu.Lock()
+	shards := make([]*shard, 0, s.lru.Len())
+	for el := s.lru.Front(); el != nil; el = el.Next() {
+		shards = append(shards, el.Value.(*shard))
+	}
+	s.mu.Unlock()
+
+	resp := wire.StatsResponse{
+		ShardCount:    len(shards),
+		MaxShards:     s.cfg.MaxShards,
+		EvictedShards: s.evictedShards.Load(),
+		Requests:      s.requests.Load(),
+		CacheHits:     s.retiredHits.Load(),
+		CacheMisses:   s.retiredMisses.Load(),
+		Latency:       s.latency.snapshot(),
+	}
+	for _, sh := range shards {
+		st := sh.stats()
+		resp.CacheHits += st.Cache.Hits
+		resp.CacheMisses += st.Cache.Misses
+		resp.Shards = append(resp.Shards, st)
+	}
+	return resp
+}
+
+// Close stops admitting requests, drains every shard's in-flight batches,
+// and waits for the shard loops to exit. It is idempotent.
+func (s *Service) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	shards := make([]*shard, 0, s.lru.Len())
+	for el := s.lru.Front(); el != nil; el = el.Next() {
+		shards = append(shards, el.Value.(*shard))
+	}
+	s.mu.Unlock()
+	for _, sh := range shards {
+		sh.close()
+	}
+	s.wg.Wait()
+}

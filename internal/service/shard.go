@@ -1,0 +1,279 @@
+package service
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pops"
+	"pops/internal/perms"
+	"pops/internal/wire"
+)
+
+// errShardRetired is returned by admit when the shard was evicted between
+// the registry lookup and admission; callers re-resolve the shard and retry.
+var errShardRetired = errors.New("service: shard retired")
+
+// Result is the outcome of one admitted permutation: a plan or a per-entry
+// planning error, plus whether the plan came from the fingerprint cache.
+type Result struct {
+	Plan   *pops.Plan
+	Cached bool
+	Err    error
+}
+
+// request is one queued routing demand awaiting a micro-batch flush.
+type request struct {
+	pi   []int
+	done chan Result // buffered (cap 1) so flush never blocks on a reader
+}
+
+// shard serves one POPS(d, g) shape: a pops.Planner with a fingerprint plan
+// cache, fed by an admission queue that coalesces concurrent requests into
+// micro-batches for RouteBatch. Non-default strategies bypass the queue —
+// routers are stateless and safe for concurrent use, and only the Theorem 2
+// planner has batch-amortizable state.
+type shard struct {
+	key shapeKey
+	svc *Service
+
+	planner *pops.Planner
+
+	// mu orders admissions against close: admitters hold the read lock
+	// across the closed check and the queue send, so once close acquires
+	// the write lock and flips closed, no further send can race the
+	// close(reqs) that follows.
+	mu     sync.RWMutex
+	closed bool
+	reqs   chan request
+	done   chan struct{} // closed when loop has drained and exited
+
+	routersMu sync.Mutex
+	routers   map[string]pops.Router
+
+	requests atomic.Uint64
+	batches  atomic.Uint64
+	batched  atomic.Uint64
+	maxBatch atomic.Uint64
+}
+
+func newShard(s *Service, d, g int) (*shard, error) {
+	opts := append([]pops.Option(nil), s.cfg.PlannerOptions...)
+	if s.cfg.CacheSize > 0 {
+		opts = append(opts, pops.WithPlanCache(s.cfg.CacheSize))
+	}
+	planner, err := pops.NewPlanner(d, g, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &shard{
+		key:     shapeKey{d, g},
+		svc:     s,
+		planner: planner,
+		reqs:    make(chan request, s.cfg.BatchSize),
+		done:    make(chan struct{}),
+		routers: make(map[string]pops.Router),
+	}, nil
+}
+
+// route admits pi and waits for its result.
+func (sh *shard) route(pi []int, strategy string) (Result, error) {
+	ch, err := sh.admit(pi, strategy)
+	if err != nil {
+		return Result{}, err
+	}
+	return <-ch, nil
+}
+
+// admit enqueues pi on the micro-batching queue (default strategy) or
+// dispatches it to the named strategy router, returning the channel its
+// Result will arrive on. The returned error is request-level: a retired
+// shard or an unknown strategy, never a planning failure.
+func (sh *shard) admit(pi []int, strategy string) (chan Result, error) {
+	ch := make(chan Result, 1)
+	if strategy != "" && strategy != pops.StrategyTheoremTwo {
+		r, err := sh.routerFor(strategy)
+		if err != nil {
+			return nil, err
+		}
+		sh.requests.Add(1)
+		go func() {
+			plan, rerr := r.Route(pi)
+			ch <- Result{Plan: plan, Err: rerr}
+		}()
+		return ch, nil
+	}
+	sh.mu.RLock()
+	if sh.closed {
+		sh.mu.RUnlock()
+		return nil, errShardRetired
+	}
+	sh.requests.Add(1)
+	sh.reqs <- request{pi: pi, done: ch}
+	sh.mu.RUnlock()
+	return ch, nil
+}
+
+// routerFor lazily builds and caches the non-default strategy routers.
+func (sh *shard) routerFor(strategy string) (pops.Router, error) {
+	sh.routersMu.Lock()
+	defer sh.routersMu.Unlock()
+	if r, ok := sh.routers[strategy]; ok {
+		return r, nil
+	}
+	r, err := pops.NewRouter(strategy, sh.key.d, sh.key.g, sh.svc.cfg.PlannerOptions...)
+	if err != nil {
+		return nil, err
+	}
+	sh.routers[strategy] = r
+	return r, nil
+}
+
+// close stops admissions and closes the queue; the loop drains whatever is
+// already buffered and exits. Idempotent.
+func (sh *shard) close() {
+	sh.mu.Lock()
+	if sh.closed {
+		sh.mu.Unlock()
+		return
+	}
+	sh.closed = true
+	sh.mu.Unlock()
+	close(sh.reqs)
+}
+
+// loop is the shard's admission loop: it collects requests into a batch
+// until the batch is full or BatchDelay has passed since the batch opened,
+// then flushes the batch onto the planner. A closed queue delivers its
+// buffered requests first, so shutdown drains in-flight work before the
+// loop exits.
+func (sh *shard) loop() {
+	defer sh.svc.wg.Done()
+	defer close(sh.done)
+	size := sh.svc.cfg.BatchSize
+	delay := sh.svc.cfg.BatchDelay
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	defer timer.Stop()
+	var batch []request
+	for {
+		req, ok := <-sh.reqs
+		if !ok {
+			return
+		}
+		batch = append(batch[:0], req)
+		timer.Reset(delay)
+		timerDrained := false
+	fill:
+		for len(batch) < size {
+			select {
+			case r, ok := <-sh.reqs:
+				if !ok {
+					// Queue closed and empty: flush what we have; the
+					// next outer receive observes the close and exits.
+					break fill
+				}
+				batch = append(batch, r)
+			case <-timer.C:
+				timerDrained = true
+				break fill
+			}
+		}
+		if !timerDrained && !timer.Stop() {
+			<-timer.C
+		}
+		sh.flush(batch)
+	}
+}
+
+// flush coalesces the batch's duplicate permutations (so N concurrent
+// identical requests cost at most one planner invocation), plans the unique
+// ones through Planner.RouteBatchCached, and fans the per-index results back
+// out to every waiter.
+func (sh *shard) flush(batch []request) {
+	n := uint64(len(batch))
+	sh.batches.Add(1)
+	sh.batched.Add(n)
+	for {
+		cur := sh.maxBatch.Load()
+		if n <= cur || sh.maxBatch.CompareAndSwap(cur, n) {
+			break
+		}
+	}
+
+	uniq := make([][]int, 0, len(batch))
+	owners := make([][]int, 0, len(batch)) // unique index -> batch indices
+	byFp := make(map[uint64][]int, len(batch))
+	for bi, r := range batch {
+		fp := pops.PermutationFingerprint(r.pi)
+		idx := -1
+		for _, ui := range byFp[fp] {
+			if perms.Equal(uniq[ui], r.pi) {
+				idx = ui
+				break
+			}
+		}
+		if idx < 0 {
+			idx = len(uniq)
+			uniq = append(uniq, r.pi)
+			owners = append(owners, nil)
+			byFp[fp] = append(byFp[fp], idx)
+		}
+		owners[idx] = append(owners[idx], bi)
+	}
+
+	plans, cached, err := sh.planner.RouteBatchCached(uniq)
+	errs := perIndexErrors(err, len(uniq))
+	for ui := range uniq {
+		res := Result{Plan: plans[ui], Cached: cached[ui], Err: errs[ui]}
+		for _, bi := range owners[ui] {
+			batch[bi].done <- res
+		}
+	}
+}
+
+// perIndexErrors redistributes a RouteBatch errors.Join aggregate back onto
+// batch indices, using the typed *pops.BatchError elements.
+func perIndexErrors(err error, n int) []error {
+	out := make([]error, n)
+	if err == nil {
+		return out
+	}
+	joined, ok := err.(interface{ Unwrap() []error })
+	if !ok {
+		for i := range out {
+			out[i] = err
+		}
+		return out
+	}
+	for _, sub := range joined.Unwrap() {
+		var be *pops.BatchError
+		if errors.As(sub, &be) && be.Index >= 0 && be.Index < n {
+			out[be.Index] = be.Err
+		}
+	}
+	return out
+}
+
+// stats snapshots the shard's counters.
+func (sh *shard) stats() wire.ShardStats {
+	cs := sh.planner.CacheStats()
+	return wire.ShardStats{
+		D:               sh.key.d,
+		G:               sh.key.g,
+		Requests:        sh.requests.Load(),
+		Batches:         sh.batches.Load(),
+		BatchedRequests: sh.batched.Load(),
+		MaxBatch:        sh.maxBatch.Load(),
+		Cache: wire.CacheStats{
+			Hits:      cs.Hits,
+			Misses:    cs.Misses,
+			Evictions: cs.Evictions,
+			Entries:   cs.Entries,
+			Capacity:  cs.Capacity,
+		},
+	}
+}

@@ -1,0 +1,48 @@
+package service
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+
+	"pops/internal/wire"
+)
+
+// latencyBucketCount sizes the request-latency histogram: bucket i counts
+// requests in (2^(i−1), 2^i] microseconds, so 20 buckets cover ≤1µs up to
+// ≤262ms, with the last bucket absorbing everything slower.
+const latencyBucketCount = 20
+
+// histogram is a lock-free power-of-two latency histogram. Observations and
+// snapshots may race benignly: each bucket is independently atomic, which is
+// all a monitoring counter needs.
+type histogram struct {
+	counts [latencyBucketCount]atomic.Uint64
+}
+
+func (h *histogram) observe(d time.Duration) {
+	us := uint64(max(d.Microseconds(), 0))
+	var b int
+	if us > 0 {
+		// Len64(us−1) keeps exact powers of two in their own bucket, so
+		// bucket i really is (2^(i−1), 2^i]: 1µs → bucket 0, 2µs →
+		// bucket 1, 3µs → bucket 2.
+		b = bits.Len64(us - 1)
+	}
+	if b >= latencyBucketCount {
+		b = latencyBucketCount - 1
+	}
+	h.counts[b].Add(1)
+}
+
+func (h *histogram) snapshot() []wire.LatencyBucket {
+	out := make([]wire.LatencyBucket, latencyBucketCount)
+	for i := range out {
+		le := uint64(1) << i
+		if i == latencyBucketCount-1 {
+			le = 0 // the unbounded overflow bucket
+		}
+		out[i] = wire.LatencyBucket{LEMicros: le, Count: h.counts[i].Load()}
+	}
+	return out
+}

@@ -1,0 +1,108 @@
+// Package wire defines the JSON schema spoken between the popsserved
+// routing service (internal/service, cmd/popsserved) and the pops
+// ServiceClient. It holds only data types — no server or client logic — so
+// that both sides can import it without a dependency cycle: the service
+// imports the public pops package for planning, and the public package
+// imports wire for the client.
+//
+// Fingerprints travel as zero-padded hex strings ("%016x"), not JSON
+// numbers: a uint64 does not survive the float64 round-trip of generic JSON
+// decoders.
+package wire
+
+import "pops/internal/popsnet"
+
+// RouteRequest is the body of POST /route: one permutation (Pi) or a batch
+// (Pis) to plan on POPS(D, G). Exactly one of Pi and Pis must be set.
+type RouteRequest struct {
+	D int `json:"d"`
+	G int `json:"g"`
+	// Pi is the single-permutation form; the response carries one plan.
+	Pi []int `json:"pi,omitempty"`
+	// Pis is the batch form; the response carries one plan per entry, in
+	// order.
+	Pis [][]int `json:"pis,omitempty"`
+	// Strategy selects the routing strategy ("theorem2", "greedy",
+	// "direct-optimal", "singleslot", "auto"). Empty means "theorem2", the
+	// only strategy served through the micro-batching + plan-cache path;
+	// other strategies are planned per request.
+	Strategy string `json:"strategy,omitempty"`
+	// IncludeSchedule asks for the full slot schedule in each plan, so the
+	// caller can replay it on a simulator. Off by default: schedules are
+	// O(n) per slot and most callers only need the summary.
+	IncludeSchedule bool `json:"include_schedule,omitempty"`
+}
+
+// PlanResult is one planned permutation of a RouteResponse. Either Error is
+// set (and the rest is zero), or the plan fields are.
+type PlanResult struct {
+	Strategy    string `json:"strategy,omitempty"`
+	Slots       int    `json:"slots,omitempty"`
+	Rounds      int    `json:"rounds,omitempty"`
+	Fingerprint string `json:"fingerprint,omitempty"`
+	// Cached reports that this plan was answered from the shard's
+	// fingerprint plan cache rather than replanned.
+	Cached   bool              `json:"cached,omitempty"`
+	Error    string            `json:"error,omitempty"`
+	Schedule *popsnet.Schedule `json:"schedule,omitempty"`
+}
+
+// RouteResponse is the body answering POST /route.
+type RouteResponse struct {
+	D     int          `json:"d"`
+	G     int          `json:"g"`
+	Plans []PlanResult `json:"plans"`
+}
+
+// SlotsResponse answers GET /slots?d=&g=: the Theorem 2 slot count every
+// permutation on that shape routes in.
+type SlotsResponse struct {
+	D     int `json:"d"`
+	G     int `json:"g"`
+	Slots int `json:"slots"`
+}
+
+// CacheStats mirrors pops.CacheStats for one shard's plan cache.
+type CacheStats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Entries   int    `json:"entries"`
+	Capacity  int    `json:"capacity"`
+}
+
+// ShardStats describes one live planner shard.
+type ShardStats struct {
+	D        int    `json:"d"`
+	G        int    `json:"g"`
+	Requests uint64 `json:"requests"`
+	// Batches and BatchedRequests describe the micro-batching admission
+	// queue: BatchedRequests/Batches is the mean coalesced batch size, and
+	// MaxBatch the largest flush observed.
+	Batches         uint64     `json:"batches"`
+	BatchedRequests uint64     `json:"batched_requests"`
+	MaxBatch        uint64     `json:"max_batch"`
+	Cache           CacheStats `json:"cache"`
+}
+
+// LatencyBucket is one bucket of the request-latency histogram: Count
+// requests completed in at most LEMicros microseconds (and more than the
+// previous bucket's bound). The final bucket has LEMicros == 0, meaning
+// "no upper bound".
+type LatencyBucket struct {
+	LEMicros uint64 `json:"le_us"`
+	Count    uint64 `json:"count"`
+}
+
+// StatsResponse answers GET /stats: service-wide counters plus one entry per
+// live shard. CacheHits/CacheMisses aggregate over live and evicted shards.
+type StatsResponse struct {
+	ShardCount    int             `json:"shard_count"`
+	MaxShards     int             `json:"max_shards"`
+	EvictedShards uint64          `json:"evicted_shards"`
+	Requests      uint64          `json:"requests"`
+	CacheHits     uint64          `json:"cache_hits"`
+	CacheMisses   uint64          `json:"cache_misses"`
+	Latency       []LatencyBucket `json:"latency"`
+	Shards        []ShardStats    `json:"shards"`
+}

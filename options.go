@@ -42,6 +42,21 @@ func WithPlanNoCopy() Option {
 	return func(o *Options) { o.PlanNoCopy = true }
 }
 
+// WithPlanCache gives the Planner a fingerprint-keyed plan cache of at most
+// n entries (LRU eviction): a permutation already planned on this Planner is
+// answered from the cache instead of replanned. Keys are
+// PermutationFingerprint digests, and every hit re-verifies permutation
+// equality before the memoized plan is returned, so a 64-bit collision can
+// cost a miss but never yield a wrong plan. Cached plans are shared between
+// callers and must be treated as immutable; combined with WithPlanNoCopy
+// this extends the ownership contract — a cached plan's aliased permutation
+// must stay unmodified for the cache's lifetime, not just the plan's.
+// n < 1 disables caching (the default). Hit/miss/eviction counters are
+// exposed through Planner.CacheStats.
+func WithPlanCache(n int) Option {
+	return func(o *Options) { o.PlanCache = n }
+}
+
 // NewOptions resolves functional options into the Options struct accepted by
 // the lower-level constructors (mesh.New, hypercube.New, matmul.Multiply and
 // the internal planners).

@@ -1,0 +1,103 @@
+package pops
+
+import (
+	"container/list"
+	"sync"
+
+	"pops/internal/perms"
+)
+
+// CacheStats is a snapshot of a Planner's fingerprint plan cache counters
+// (see WithPlanCache). Hits + Misses is the total number of lookups; a
+// lookup that finds the fingerprint but fails the equality check (a 64-bit
+// collision) counts as a miss.
+type CacheStats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Entries   int    `json:"entries"`
+	Capacity  int    `json:"capacity"`
+}
+
+// planCache memoizes *Plan results keyed by the permutation fingerprint,
+// with an LRU bound on live entries. Because the key is a 64-bit digest,
+// every hit re-verifies the stored permutation for equality before the plan
+// is trusted; a fingerprint collision therefore degrades to a miss (the
+// colliding entry is overwritten), never to a wrong plan.
+//
+// Cached *Plans are shared: a hit returns the same pointer that an earlier
+// call produced, so callers must treat plans as immutable — which the rest
+// of the API already assumes (Plan methods only read).
+type planCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[uint64]*list.Element // fingerprint -> *cacheEntry element
+	lru     list.List                // front = most recently used
+	stats   CacheStats
+}
+
+// cacheEntry is one memoized plan. pi is the cache's own copy of the
+// permutation, kept for the equality check on hits: under WithPlanNoCopy
+// plan.Pi aliases caller memory, which the cache must not depend on.
+type cacheEntry struct {
+	fp   uint64
+	pi   []int
+	plan *Plan
+}
+
+func newPlanCache(capacity int) *planCache {
+	return &planCache{
+		cap:     capacity,
+		entries: make(map[uint64]*list.Element, capacity),
+		stats:   CacheStats{Capacity: capacity},
+	}
+}
+
+// get returns the memoized plan for pi, if any, and records the hit or miss.
+func (c *planCache) get(fp uint64, pi []int) (*Plan, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[fp]; ok {
+		e := el.Value.(*cacheEntry)
+		if perms.Equal(e.pi, pi) {
+			c.lru.MoveToFront(el)
+			c.stats.Hits++
+			return e.plan, true
+		}
+	}
+	c.stats.Misses++
+	return nil, false
+}
+
+// put memoizes plan under fp, snapshotting pi for hit-time verification and
+// evicting the least recently used entry when the cache is full. A
+// same-fingerprint entry (collision, or a racing insert of the same
+// permutation) is overwritten in place.
+func (c *planCache) put(fp uint64, pi []int, plan *Plan) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[fp]; ok {
+		e := el.Value.(*cacheEntry)
+		e.pi = append(e.pi[:0], pi...)
+		e.plan = plan
+		c.lru.MoveToFront(el)
+		return
+	}
+	if c.lru.Len() >= c.cap {
+		back := c.lru.Back()
+		delete(c.entries, back.Value.(*cacheEntry).fp)
+		c.lru.Remove(back)
+		c.stats.Evictions++
+	}
+	e := &cacheEntry{fp: fp, pi: append([]int(nil), pi...), plan: plan}
+	c.entries[fp] = c.lru.PushFront(e)
+}
+
+// snapshot returns the current counters.
+func (c *planCache) snapshot() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Entries = c.lru.Len()
+	return s
+}

@@ -1,9 +1,11 @@
 package pops
 
 import (
+	"errors"
 	"fmt"
 
 	"pops/internal/core"
+	"pops/internal/perms"
 )
 
 // Planner is the batch-friendly entry point for planning many permutations
@@ -15,11 +17,18 @@ import (
 // A Planner is safe for concurrent use: it keeps a free list of per-worker
 // core planners (bounded by WithParallelism), so concurrent Route calls and
 // RouteBatch workers never share scratch memory.
+//
+// With WithPlanCache(n), the planner additionally memoizes up to n plans
+// keyed by PermutationFingerprint: recurring permutations (BPC families,
+// mesh shifts) are answered from the cache instead of replanned. Hits return
+// the same *Plan pointer to every caller, so plans must be treated as
+// immutable — which Plan's read-only method set already assumes.
 type Planner struct {
-	nw   Network
-	opts Options
-	par  int
-	free chan *core.Planner
+	nw    Network
+	opts  Options
+	par   int
+	free  chan *core.Planner
+	cache *planCache // nil without WithPlanCache
 }
 
 // NewPlanner validates the POPS(d, g) shape once and returns a Planner for
@@ -32,7 +41,11 @@ func NewPlanner(d, g int, opts ...Option) (*Planner, error) {
 	}
 	o := NewOptions(opts...)
 	par := o.Workers()
-	return &Planner{nw: nw, opts: o, par: par, free: make(chan *core.Planner, par)}, nil
+	p := &Planner{nw: nw, opts: o, par: par, free: make(chan *core.Planner, par)}
+	if o.PlanCache > 0 {
+		p.cache = newPlanCache(o.PlanCache)
+	}
+	return p, nil
 }
 
 // Network returns the planner's POPS(d, g) shape.
@@ -54,35 +67,118 @@ func (p *Planner) release(pl *core.Planner) {
 	}
 }
 
+// routeOne plans pi through the fingerprint cache when one is configured:
+// a verified hit skips planning entirely, a miss plans and memoizes. The
+// returned bool reports whether the plan came from the cache.
+func (p *Planner) routeOne(pl *core.Planner, pi []int) (*Plan, bool, error) {
+	if p.cache == nil {
+		plan, err := pl.Plan(pi)
+		return plan, false, err
+	}
+	fp := perms.Fingerprint(pi)
+	if plan, ok := p.cache.get(fp, pi); ok {
+		return plan, true, nil
+	}
+	plan, err := pl.Plan(pi)
+	if err != nil {
+		return nil, false, err
+	}
+	p.cache.put(fp, pi, plan)
+	return plan, false, nil
+}
+
 // Route plans the Theorem 2 routing of pi, reusing the planner's internal
 // buffers. The returned Plan owns its memory and stays valid across
-// subsequent calls.
+// subsequent calls. With WithPlanCache, a repeated permutation is answered
+// from the fingerprint cache without replanning — the cache is consulted
+// before a worker planner is checked out, so hits cost no planner
+// allocation even when concurrency exceeds the free list.
 func (p *Planner) Route(pi []int) (*Plan, error) {
+	if p.cache != nil {
+		if plan, ok := p.cache.get(perms.Fingerprint(pi), pi); ok {
+			return plan, nil
+		}
+	}
 	pl := p.acquire()
 	defer p.release(pl)
-	return pl.Plan(pi)
+	plan, err := pl.Plan(pi)
+	if err != nil || p.cache == nil {
+		return plan, err
+	}
+	p.cache.put(perms.Fingerprint(pi), pi, plan)
+	return plan, nil
+}
+
+// CachedPlan reports whether pi's plan is currently memoized, returning it
+// on a verified hit. The lookup counts toward CacheStats like any other.
+// Without WithPlanCache it reports false and counts nothing.
+func (p *Planner) CachedPlan(pi []int) (*Plan, bool) {
+	if p.cache == nil {
+		return nil, false
+	}
+	return p.cache.get(perms.Fingerprint(pi), pi)
+}
+
+// CacheStats returns a snapshot of the fingerprint plan cache counters. The
+// zero CacheStats is returned when the planner was built without
+// WithPlanCache.
+func (p *Planner) CacheStats() CacheStats {
+	if p.cache == nil {
+		return CacheStats{}
+	}
+	return p.cache.snapshot()
 }
 
 // PredictedSlots returns the slot count every Route call on this planner
 // will use: OptimalSlots(d, g), independent of the permutation.
 func (p *Planner) PredictedSlots() int { return OptimalSlots(p.nw.D, p.nw.G) }
 
+// BatchError records the failure of one permutation within a RouteBatch
+// call. The joined error RouteBatch returns is built from one BatchError per
+// failing index; callers needing per-index attribution unwrap the join
+// (errors.Join's Unwrap() []error) and errors.As each element.
+type BatchError struct {
+	Index int   // position of the failing permutation in the batch
+	Err   error // the underlying planning error
+}
+
+// Error implements error.
+func (e *BatchError) Error() string {
+	return fmt.Sprintf("pops: batch permutation %d: %v", e.Index, e.Err)
+}
+
+// Unwrap exposes the underlying planning error to errors.Is/As.
+func (e *BatchError) Unwrap() error { return e.Err }
+
 // RouteBatch plans every permutation of pis on a bounded worker pool
 // (WithParallelism workers) and returns the plans in input order. Results
 // are identical to calling Route sequentially on each permutation: workers
-// only amortize allocations, they do not change the construction. All
-// entries are planned even when some fail; if any did, RouteBatch returns
-// nil plans and the error of the lowest-index failing permutation.
+// only amortize allocations, they do not change the construction.
+//
+// All entries are planned even when some fail. Successful plans are always
+// returned at their indices; a failing permutation leaves a nil plan at its
+// index, and the returned error is the errors.Join of one *BatchError per
+// failing index (nil when every permutation planned). With WithPlanCache,
+// each permutation is first looked up in the fingerprint cache.
 func (p *Planner) RouteBatch(pis [][]int) ([]*Plan, error) {
-	plans := make([]*Plan, len(pis))
+	plans, _, err := p.RouteBatchCached(pis)
+	return plans, err
+}
+
+// RouteBatchCached is RouteBatch plus per-index cache attribution: cached[i]
+// reports whether plans[i] was answered from the fingerprint plan cache
+// (always false without WithPlanCache). It is the primitive the serving
+// layer batches onto, where hit/miss visibility is part of the response.
+func (p *Planner) RouteBatchCached(pis [][]int) (plans []*Plan, cached []bool, err error) {
+	plans = make([]*Plan, len(pis))
+	cached = make([]bool, len(pis))
 	errs := make([]error, len(pis))
 	core.ForEach(p.par, len(pis), p.acquire, p.release, func(pl *core.Planner, i int) {
-		plans[i], errs[i] = pl.Plan(pis[i])
-	})
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("pops: batch permutation %d: %w", i, err)
+		var planErr error
+		plans[i], cached[i], planErr = p.routeOne(pl, pis[i])
+		if planErr != nil {
+			errs[i] = &BatchError{Index: i, Err: planErr}
 		}
-	}
-	return plans, nil
+	})
+	return plans, cached, errors.Join(errs...)
 }

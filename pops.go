@@ -31,6 +31,10 @@
 //	p, err := pops.NewPlanner(8, 8, pops.WithParallelism(4))
 //	plans, err := p.RouteBatch(pis) // order-stable, bounded worker pool
 //
+// WithPlanCache adds a fingerprint-keyed plan cache to a Planner, and the
+// same planning surface is served over HTTP by cmd/popsserved (sharded per
+// network shape, micro-batched); ServiceClient is its Go client.
+//
 // The facade additionally re-exports the building blocks: the slot-level
 // network simulator (Network, Schedule, Run), the Theorem 1 machinery (fair
 // distributions via balanced bipartite edge coloring), permutation families
@@ -205,6 +209,13 @@ func AllToAll(d, g int, opts ...Option) (*HRelationPlan, error) {
 
 // ValidatePermutation checks that pi is a permutation of {0,…,len(pi)−1}.
 func ValidatePermutation(pi []int) error { return perms.Validate(pi) }
+
+// PermutationFingerprint returns the 64-bit content fingerprint of pi used
+// as the key of the Planner's plan cache (WithPlanCache) and of the serving
+// layer's request coalescing. Equal permutations always fingerprint
+// identically; distinct ones collide with probability ~2⁻⁶⁴, so cache
+// layers verify equality on every hit before trusting a stored plan.
+func PermutationFingerprint(pi []int) uint64 { return perms.Fingerprint(pi) }
 
 // IdentityPermutation returns the identity on n elements.
 func IdentityPermutation(n int) []int { return perms.Identity(n) }

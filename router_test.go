@@ -1,6 +1,7 @@
 package pops
 
 import (
+	"errors"
 	"math/rand"
 	"reflect"
 	"strings"
@@ -180,7 +181,7 @@ func TestRouteBatchMatchesSequentialAndIsOrderStable(t *testing.T) {
 	}
 }
 
-func TestRouteBatchReportsFirstErrorByIndex(t *testing.T) {
+func TestRouteBatchAggregatesAllErrorsAndKeepsSuccesses(t *testing.T) {
 	planner, err := NewPlanner(2, 2)
 	if err != nil {
 		t.Fatal(err)
@@ -189,14 +190,45 @@ func TestRouteBatchReportsFirstErrorByIndex(t *testing.T) {
 		IdentityPermutation(4),
 		{0, 1, 2},    // wrong length
 		{0, 0, 1, 1}, // not a permutation
+		VectorReversal(4),
 	}
-	_, err = planner.RouteBatch(pis)
+	plans, err := planner.RouteBatch(pis)
 	if err == nil {
 		t.Fatal("batch with invalid permutations succeeded")
 	}
-	want := "batch permutation 1"
-	if got := err.Error(); !strings.Contains(got, want) {
-		t.Fatalf("error %q does not name the first failing index (%q)", got, want)
+	// Every failing index is named, not just the lowest.
+	for _, want := range []string{"batch permutation 1", "batch permutation 2"} {
+		if got := err.Error(); !strings.Contains(got, want) {
+			t.Fatalf("error %q does not name failing index (%q)", got, want)
+		}
+	}
+	// The join unwraps into typed per-index errors.
+	joined, ok := err.(interface{ Unwrap() []error })
+	if !ok {
+		t.Fatalf("batch error %T is not an errors.Join aggregate", err)
+	}
+	var indices []int
+	for _, sub := range joined.Unwrap() {
+		var be *BatchError
+		if !errors.As(sub, &be) {
+			t.Fatalf("joined element %v is not a *BatchError", sub)
+		}
+		indices = append(indices, be.Index)
+	}
+	if !reflect.DeepEqual(indices, []int{1, 2}) {
+		t.Fatalf("failing indices = %v, want [1 2]", indices)
+	}
+	// Successful plans are still returned; nil only at failing indices.
+	if plans[0] == nil || plans[3] == nil {
+		t.Fatalf("successful plans were dropped: %v", plans)
+	}
+	if plans[1] != nil || plans[2] != nil {
+		t.Fatalf("failing indices carry non-nil plans: %v", plans)
+	}
+	for _, i := range []int{0, 3} {
+		if _, err := plans[i].Verify(); err != nil {
+			t.Fatalf("plan %d: %v", i, err)
+		}
 	}
 }
 
