@@ -20,8 +20,10 @@ race:
 # End-to-end serving smoke: start popsserved on an ephemeral port, route a
 # permutation through pops.ServiceClient, and assert the second call is
 # answered by the fingerprint plan cache (plan flag + /stats hit counter).
+# TestServeSmokeStream additionally POSTs /route/stream over raw TCP and
+# asserts the slot records arrive as >= 2 separate HTTP chunks.
 serve-smoke:
-	go test -run TestServeSmoke -count=1 -v ./cmd/popsserved
+	go test -run 'TestServeSmoke|TestServeSmokeStream' -count=1 -v ./cmd/popsserved
 
 # Record a BENCH_<date>.json with the benchmark set the baselines use.
 # Override the output or note: make bench BENCH_OUT=BENCH_x.json BENCH_NOTE="..."
@@ -35,7 +37,11 @@ bench-smoke:
 	go test -run '^$$' -bench . -benchtime 1x -benchmem ./...
 
 # The steady-state allocation guard of the coloring engine: fails if
-# Factorizer/Matcher/Splitter reuse regresses past the alloc budget.
+# Factorizer/Matcher/Splitter reuse regresses past the alloc budget. The
+# streaming path is covered too: a warmed Stream drain allocates nothing
+# beyond its handle, and RouteStream+Collect stays within Route's budget
+# plus the fixed stream handles.
 alloc-guard:
-	go test -run 'TestFactorizerAllocBudget|TestMatcherSteadyStateAllocFree|TestSplitterSteadyStateAllocFree' \
+	go test -run 'TestFactorizerAllocBudget|TestStreamAllocBudget|TestMatcherSteadyStateAllocFree|TestSplitterSteadyStateAllocFree' \
 		-count=1 ./internal/edgecolor ./internal/matching ./internal/graph
+	go test -run 'TestRouteStreamAllocBudget' -count=1 .

@@ -178,6 +178,69 @@ func BenchmarkRouteBatch(b *testing.B) {
 	}
 }
 
+// BenchmarkTimeToFirstSlot measures the streaming pipeline's headline win:
+// time until the first slot fragment of a plan is usable. route-full is the
+// baseline — a batch Route call, whose first slot is only ready when the
+// whole plan is; stream-first-slot runs RouteStream until the first Next
+// returns and abandons the stream (Close); stream-collect drains the stream
+// to the finished plan, bounding the streaming overhead against route-full.
+func BenchmarkTimeToFirstSlot(b *testing.B) {
+	shapes := []struct{ d, g int }{{8, 8}, {8, 64}, {32, 8}, {32, 64}, {16, 64}}
+	for _, s := range shapes {
+		rng := rand.New(rand.NewSource(21))
+		pi := perms.Random(s.d*s.g, rng)
+		newPlanner := func(b *testing.B) *Planner {
+			p, err := NewPlanner(s.d, s.g)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := p.Route(pi); err != nil { // warm the worker free list
+				b.Fatal(err)
+			}
+			return p
+		}
+		b.Run(fmt.Sprintf("route-full/d=%d/g=%d", s.d, s.g), func(b *testing.B) {
+			p := newPlanner(b)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := p.Route(pi); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("stream-first-slot/d=%d/g=%d", s.d, s.g), func(b *testing.B) {
+			p := newPlanner(b)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ps, err := p.RouteStream(pi)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, ok := ps.Next(); !ok {
+					b.Fatal("no first fragment")
+				}
+				ps.Close()
+			}
+		})
+		b.Run(fmt.Sprintf("stream-collect/d=%d/g=%d", s.d, s.g), func(b *testing.B) {
+			p := newPlanner(b)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ps, err := p.RouteStream(pi)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := ps.Collect(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkE10Factorize compares the three 1-factorization backends on the
 // square (d = g) planning workload — the Remark 1 ablation.
 func BenchmarkE10Factorize(b *testing.B) {

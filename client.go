@@ -25,6 +25,12 @@ type (
 	ServiceRouteResponse = wire.RouteResponse
 	// ServiceStats is the body answering GET /stats.
 	ServiceStats = wire.StatsResponse
+	// ServiceStreamMeta opens a POST /route/stream response.
+	ServiceStreamMeta = wire.StreamMeta
+	// ServiceStreamSlot is one streamed slot fragment.
+	ServiceStreamSlot = wire.StreamSlot
+	// ServiceStreamDone closes a successful slot stream.
+	ServiceStreamDone = wire.StreamDone
 )
 
 // ServiceClient is the Go client of a popsserved routing service (see
@@ -92,6 +98,114 @@ func (c *ServiceClient) RouteBatch(ctx context.Context, d, g int, pis [][]int) (
 		return nil, fmt.Errorf("pops: service returned %d plans for %d permutations", len(resp.Plans), len(pis))
 	}
 	return resp.Plans, nil
+}
+
+// ServiceStream is an open POST /route/stream response: slot fragments
+// decoded one NDJSON record at a time, while the server is still peeling
+// later color classes. Drive it with Next and always Close it — Close
+// releases the HTTP connection, and abandoning a stream early tells the
+// server to stop planning.
+type ServiceStream struct {
+	body io.ReadCloser
+	dec  *json.Decoder
+	meta ServiceStreamMeta
+	done *ServiceStreamDone
+	err  error
+}
+
+// RouteStream opens a slot stream for pi on POPS(d, g) with the default
+// (Theorem 2) strategy. The stream's Meta is available immediately — it
+// arrives before the first slot has even been computed server-side.
+func (c *ServiceClient) RouteStream(ctx context.Context, d, g int, pi []int) (*ServiceStream, error) {
+	return c.DoStream(ctx, &ServiceRouteRequest{D: d, G: g, Pi: pi})
+}
+
+// DoStream is the general streaming form: it posts req to /route/stream and
+// decodes the stream's opening meta record. Callers use it to select a
+// non-default strategy (whose plans are streamed as whole slots).
+func (c *ServiceClient) DoStream(ctx context.Context, req *ServiceRouteRequest) (*ServiceStream, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("pops: encoding route request: %w", err)
+	}
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/route/stream", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(httpReq)
+	if err != nil {
+		return nil, fmt.Errorf("pops: service request /route/stream: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		defer resp.Body.Close()
+		return nil, fmt.Errorf("pops: service /route/stream: %s", readError(resp))
+	}
+	st := &ServiceStream{body: resp.Body, dec: json.NewDecoder(resp.Body)}
+	var rec wire.StreamRecord
+	if err := st.dec.Decode(&rec); err != nil {
+		resp.Body.Close()
+		return nil, fmt.Errorf("pops: decoding stream meta: %w", err)
+	}
+	if rec.Type != "meta" || rec.Meta == nil {
+		resp.Body.Close()
+		if rec.Type == "error" {
+			return nil, fmt.Errorf("pops: service: %s", rec.Error)
+		}
+		return nil, fmt.Errorf("pops: stream opened with %q record, want meta", rec.Type)
+	}
+	st.meta = *rec.Meta
+	return st, nil
+}
+
+// Meta returns the stream's opening record.
+func (s *ServiceStream) Meta() ServiceStreamMeta { return s.meta }
+
+// Next returns the next slot fragment, or (nil, nil) once the stream has
+// completed successfully (Done then holds the closing record). A planning
+// failure mid-stream or a malformed response is returned as an error.
+func (s *ServiceStream) Next() (*ServiceStreamSlot, error) {
+	if s.err != nil || s.done != nil {
+		return nil, s.err
+	}
+	var rec wire.StreamRecord
+	if err := s.dec.Decode(&rec); err != nil {
+		s.err = fmt.Errorf("pops: decoding stream record: %w", err)
+		return nil, s.err
+	}
+	switch rec.Type {
+	case "slot":
+		if rec.Slot == nil {
+			s.err = fmt.Errorf("pops: slot record without slot payload")
+			return nil, s.err
+		}
+		return rec.Slot, nil
+	case "done":
+		s.done = rec.Done
+		return nil, nil
+	case "error":
+		s.err = fmt.Errorf("pops: service: %s", rec.Error)
+		return nil, s.err
+	default:
+		s.err = fmt.Errorf("pops: unexpected stream record %q", rec.Type)
+		return nil, s.err
+	}
+}
+
+// Done returns the stream's closing record once Next has returned (nil, nil).
+func (s *ServiceStream) Done() *ServiceStreamDone { return s.done }
+
+// Close releases the underlying HTTP response. Always call it; closing
+// before the done record abandons the stream server-side (the dropped
+// connection is the cancellation signal). After a completed stream the
+// remaining body (the chunked trailer) is drained first, so the
+// keep-alive connection returns to the transport's pool instead of being
+// torn down.
+func (s *ServiceStream) Close() error {
+	if s.done != nil {
+		_, _ = io.Copy(io.Discard, io.LimitReader(s.body, 4096))
+	}
+	return s.body.Close()
 }
 
 // Slots returns the Theorem 2 slot count the service will use for every

@@ -58,12 +58,19 @@ func main() {
 		benchRe   = flag.String("bench", "BenchmarkPlannerReuse|BenchmarkRouteBatch", "benchmark regexp")
 		benchtime = flag.String("benchtime", "20x", "go test -benchtime value")
 		pkg       = flag.String("pkg", ".", "package to benchmark")
+		cpu       = flag.Int("cpu", 0, "go test -cpu value (0 = runtime default)")
 		notes     notesFlag
 	)
 	flag.Var(&notes, "notes", "extra notes entry (repeatable)")
 	flag.Parse()
 
-	args := []string{"test", "-run", "^$", "-bench", *benchRe, "-benchmem", "-benchtime", *benchtime, *pkg}
+	args := []string{"test", "-run", "^$", "-bench", *benchRe, "-benchmem", "-benchtime", *benchtime}
+	procs := runtime.GOMAXPROCS(0)
+	if *cpu > 0 {
+		args = append(args, "-cpu", strconv.Itoa(*cpu))
+		procs = *cpu
+	}
+	args = append(args, *pkg)
 	cmd := exec.Command("go", args...)
 	cmd.Stderr = os.Stderr
 	raw, err := cmd.Output()
@@ -73,7 +80,7 @@ func main() {
 	}
 	os.Stdout.Write(raw)
 
-	cpu, results, err := parseBenchOutput(string(raw), runtime.GOMAXPROCS(0))
+	cpuModel, results, err := parseBenchOutput(string(raw), procs)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchrecord: %v\n", err)
 		os.Exit(1)
@@ -87,8 +94,8 @@ func main() {
 		CommitNote: *note,
 		Goos:       runtime.GOOS,
 		Goarch:     runtime.GOARCH,
-		CPU:        cpu,
-		Gomaxprocs: runtime.GOMAXPROCS(0),
+		CPU:        cpuModel,
+		Gomaxprocs: procs,
 		Command:    "go " + strings.Join(args, " "),
 		Benchmarks: results,
 		Notes:      notes,

@@ -4,15 +4,24 @@
 // shard micro-batches concurrent requests onto the batch planner, and a
 // fingerprint plan cache answers recurring permutations without replanning.
 //
-// Endpoints: POST /route, GET /slots, GET /stats, GET /healthz — see
-// internal/wire for the JSON schema and pops.ServiceClient for the Go
-// client. SIGINT/SIGTERM trigger graceful shutdown: the listener stops, and
-// in-flight micro-batches drain before the process exits.
+// POST /route/stream streams a plan's slots as NDJSON chunks: the first
+// slot records are flushed while later color classes of the factorization
+// are still being peeled, so time-to-first-slot is a small fraction of the
+// full planning latency (GET /stats exports its histogram), and the shard
+// keeps admitting other requests mid-factorization.
+//
+// Endpoints: POST /route, POST /route/stream, GET /slots, GET /stats,
+// GET /healthz — see internal/wire for the JSON schema and
+// pops.ServiceClient for the Go client. SIGINT/SIGTERM trigger graceful
+// shutdown: the listener stops, and in-flight micro-batches AND open slot
+// streams drain before the process exits (connections are force-closed if
+// they outlive -drain).
 //
 // Usage:
 //
 //	popsserved -addr :8714 -batch 32 -batch-delay 1ms -cache 1024 -max-shards 64
 //	curl -s localhost:8714/route -d '{"d":8,"g":8,"pi":[63,62,...,0]}'
+//	curl -sN localhost:8714/route/stream -d '{"d":8,"g":8,"pi":[63,62,...,0]}'
 //	curl -s 'localhost:8714/slots?d=8&g=8'
 //	curl -s localhost:8714/stats
 package main
@@ -103,12 +112,18 @@ func run(ctx context.Context, args []string, stdout io.Writer, ready chan<- net.
 	case <-ctx.Done():
 	}
 
-	// Graceful shutdown: stop accepting and let open connections finish,
-	// then drain the shards' in-flight micro-batches.
+	// Graceful shutdown: stop accepting and let open connections — batch
+	// requests and slot streams alike — finish, then drain the shards'
+	// in-flight micro-batches and streams. If a connection outlives the
+	// drain deadline (e.g. a stream consumer that stopped reading), it is
+	// force-closed so svc.Close cannot block on its stream forever.
 	fmt.Fprintln(stdout, "popsserved: shutting down")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainWait)
 	defer cancel()
 	shutdownErr := srv.Shutdown(shutdownCtx)
+	if shutdownErr != nil {
+		srv.Close()
+	}
 	svc.Close()
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err

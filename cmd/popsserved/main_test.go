@@ -1,12 +1,19 @@
 package main
 
 import (
+	"bufio"
 	"context"
+	"encoding/json"
+	"fmt"
+	"io"
 	"net"
+	"strconv"
+	"strings"
 	"testing"
 	"time"
 
 	"pops"
+	"pops/internal/wire"
 )
 
 // TestServeSmoke is the end-to-end smoke `make serve-smoke` runs: start
@@ -75,6 +82,189 @@ func TestServeSmoke(t *testing.T) {
 		}
 	case <-time.After(15 * time.Second):
 		t.Fatal("server did not drain within 15s")
+	}
+}
+
+// startServer boots popsserved on an ephemeral port and returns its
+// address, the cancel that triggers graceful shutdown (the SIGINT path),
+// and the channel run's error arrives on.
+func startServer(t *testing.T, args ...string) (net.Addr, context.CancelFunc, chan error) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	ready := make(chan net.Addr, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, append([]string{"-addr", "127.0.0.1:0"}, args...), testWriter{t}, ready)
+	}()
+	select {
+	case addr := <-ready:
+		return addr, cancel, done
+	case err := <-done:
+		t.Fatalf("server exited before ready: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
+	return nil, nil, nil
+}
+
+// TestServeSmokeStream is the streaming smoke `make serve-smoke` also runs:
+// it speaks raw HTTP/1.1 over TCP to POST /route/stream so it can parse the
+// chunked transfer encoding itself, asserting that the slot records really
+// arrive as multiple separate chunks (one per server-side flush) — the
+// pipelining property, not just the payload — and that the NDJSON records
+// reassemble into meta + slots + done.
+func TestServeSmokeStream(t *testing.T) {
+	addr, cancel, done := startServer(t)
+
+	const d, g = 4, 8
+	pi := pops.VectorReversal(d * g)
+	body, err := json.Marshal(wire.RouteRequest{D: d, G: g, Pi: pi})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.DialTimeout("tcp", addr.String(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(30 * time.Second))
+	fmt.Fprintf(conn, "POST /route/stream HTTP/1.1\r\nHost: popsserved\r\nContent-Type: application/json\r\nContent-Length: %d\r\n\r\n%s", len(body), body)
+
+	br := bufio.NewReader(conn)
+	status, err := br.ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(status, "200") {
+		t.Fatalf("status line %q", strings.TrimSpace(status))
+	}
+	chunked := false
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			t.Fatal(err)
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			break
+		}
+		if strings.EqualFold(line, "Transfer-Encoding: chunked") {
+			chunked = true
+		}
+	}
+	if !chunked {
+		t.Fatal("response is not chunked")
+	}
+
+	// Parse the chunked framing by hand, counting the chunks.
+	var payload []byte
+	chunks := 0
+	for {
+		sizeLine, err := br.ReadString('\n')
+		if err != nil {
+			t.Fatal(err)
+		}
+		size, err := strconv.ParseUint(strings.TrimSpace(sizeLine), 16, 32)
+		if err != nil {
+			t.Fatalf("chunk size line %q: %v", strings.TrimSpace(sizeLine), err)
+		}
+		if size == 0 {
+			break
+		}
+		chunks++
+		buf := make([]byte, size+2) // chunk data + trailing CRLF
+		if _, err := io.ReadFull(br, buf); err != nil {
+			t.Fatal(err)
+		}
+		payload = append(payload, buf[:size]...)
+	}
+	if chunks < 2 {
+		t.Fatalf("stream arrived in %d chunk(s); want >= 2 (one per flushed record)", chunks)
+	}
+
+	// The concatenated NDJSON must be meta, slot records, done.
+	lines := strings.Split(strings.TrimSpace(string(payload)), "\n")
+	var meta wire.StreamRecord
+	if err := json.Unmarshal([]byte(lines[0]), &meta); err != nil || meta.Type != "meta" || meta.Meta == nil {
+		t.Fatalf("first record %q (err %v)", lines[0], err)
+	}
+	if meta.Meta.Slots != pops.OptimalSlots(d, g) {
+		t.Fatalf("meta.slots = %d, want %d", meta.Meta.Slots, pops.OptimalSlots(d, g))
+	}
+	slotRecords := 0
+	for _, line := range lines[1 : len(lines)-1] {
+		var rec wire.StreamRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil || rec.Type != "slot" || rec.Slot == nil {
+			t.Fatalf("slot record %q (err %v)", line, err)
+		}
+		slotRecords++
+	}
+	if slotRecords != meta.Meta.Fragments {
+		t.Fatalf("%d slot records, meta promised %d", slotRecords, meta.Meta.Fragments)
+	}
+	var doneRec wire.StreamRecord
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &doneRec); err != nil || doneRec.Type != "done" {
+		t.Fatalf("last record %q (err %v)", lines[len(lines)-1], err)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("server did not drain within 15s")
+	}
+}
+
+// TestGracefulDrainFinishesStreams opens a slot stream, consumes only its
+// first record, signals shutdown, and then asserts every remaining slot —
+// and the done record — still arrives before the server exits: graceful
+// drain must finish in-flight streams, not just micro-batches.
+func TestGracefulDrainFinishesStreams(t *testing.T) {
+	addr, cancel, done := startServer(t)
+	client := pops.NewServiceClient("http://"+addr.String(), nil)
+
+	const d, g = 8, 16 // 2·max(d,g) = 32 fragments: plenty left after the signal
+	pi := pops.VectorReversal(d * g)
+	st, err := client.RouteStream(context.Background(), d, g, pi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if rec, err := st.Next(); err != nil || rec == nil {
+		t.Fatalf("first fragment: %v %v", rec, err)
+	}
+
+	cancel() // SIGINT path: listener stops, drain begins with our stream open
+
+	got := 1
+	for {
+		rec, err := st.Next()
+		if err != nil {
+			t.Fatalf("fragment %d after shutdown began: %v", got, err)
+		}
+		if rec == nil {
+			break
+		}
+		got++
+	}
+	if got != st.Meta().Fragments {
+		t.Fatalf("drained %d of %d fragments after signal", got, st.Meta().Fragments)
+	}
+	if st.Done() == nil {
+		t.Fatal("no done record after drain")
+	}
+	st.Close()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("server did not exit after draining the stream")
 	}
 }
 

@@ -1,9 +1,11 @@
 // Serving routing plans over the network: starts the sharded planner
 // service (the subsystem behind cmd/popsserved) on an ephemeral port and
 // drives it with pops.ServiceClient — two POPS shapes, a batched BPC family
-// sweep, and a repeated mesh-shift permutation answered by the fingerprint
-// plan cache. The final /stats snapshot shows the shard registry, the
-// micro-batch coalescing, and the cache hit counter at work.
+// sweep, a repeated mesh-shift permutation answered by the fingerprint plan
+// cache, and a slot stream whose first records arrive while the server is
+// still factorizing. The final /stats snapshot shows the shard registry,
+// the micro-batch coalescing, the cache hit counter, and the
+// time-to-first-slot histogram at work.
 package main
 
 import (
@@ -88,12 +90,40 @@ func main() {
 		fmt.Printf("  request %d: %d slots, cached=%v\n", i+1, plan.Slots, plan.Cached)
 	}
 
+	// Streaming: POST /route/stream delivers the schedule slot by slot.
+	// The meta record and the first slot fragments arrive while the server
+	// is still peeling later color classes of the same plan.
+	const sd, sg = 8, 16
+	stream, err := client.RouteStream(ctx, sd, sg, pops.VectorReversal(sd*sg))
+	if err != nil {
+		log.Fatal(err)
+	}
+	meta := stream.Meta()
+	fmt.Printf("\nstreaming POPS(%d,%d): %d slots in %d fragments\n", sd, sg, meta.Slots, meta.Fragments)
+	shown := 0
+	for {
+		rec, err := stream.Next()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if rec == nil {
+			break
+		}
+		if shown < 3 {
+			fmt.Printf("  fragment: slot %d offset %3d (%2d sends, color %2d, final=%v)\n",
+				rec.Slot, rec.Offset, len(rec.Sends), rec.Color, rec.Final)
+		}
+		shown++
+	}
+	fmt.Printf("  ... %d fragments total, done record: %+v\n", shown, *stream.Done())
+	stream.Close()
+
 	stats, err := client.Stats(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\n/stats: %d shards, %d requests, cache %d hits / %d misses\n",
-		stats.ShardCount, stats.Requests, stats.CacheHits, stats.CacheMisses)
+	fmt.Printf("\n/stats: %d shards, %d requests (%d streamed), cache %d hits / %d misses\n",
+		stats.ShardCount, stats.Requests, stats.Streams, stats.CacheHits, stats.CacheMisses)
 	for _, sh := range stats.Shards {
 		fmt.Printf("  POPS(%2d,%2d): %d requests in %d batches (max batch %d)\n",
 			sh.D, sh.G, sh.Requests, sh.Batches, sh.MaxBatch)

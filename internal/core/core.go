@@ -41,8 +41,9 @@ import (
 
 // Options configures the planner.
 type Options struct {
-	// Algorithm selects the edge-coloring backend. The default,
-	// EulerSplitDC, is the near-linear divide-and-conquer variant.
+	// Algorithm selects the edge-coloring backend. The zero value — the
+	// default — is RepeatedMatching (Hopcroft–Karp peeling); EulerSplitDC
+	// is the near-linear divide-and-conquer alternative.
 	Algorithm edgecolor.Algorithm
 	// Verify replays every produced schedule on the slot-level simulator
 	// before returning it; a simulation failure becomes a planning error.

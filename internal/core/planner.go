@@ -73,6 +73,11 @@ type Planner struct {
 	seenGroup  []bool  // group -> seen within current color class (undo-reset)
 	byInter    [][]int // intermediate group -> packets of current round
 	colorCount int     // max(d, g)
+
+	// Streaming scratch (StartPlan): per-slot outstanding-class counters and
+	// the sorted-class buffer, reused across streams.
+	remaining []int
+	classBuf  []int
 }
 
 // NewPlanner validates the POPS(d, g) shape and returns a Planner for it.
@@ -161,6 +166,11 @@ func (pl *Planner) Plan(pi []int) (*Plan, error) {
 
 // buildPlan turns per-packet relay colors into the two-slot-per-round
 // schedule and sanity-checks the fair-distribution invariants on the way.
+// PlanStream.Next assembles the identical layout incrementally (per class
+// at offset (c−lo)·want instead of byInter bucketing, which keeps this
+// batch path O(n) with no per-class sort); the two must stay in lockstep —
+// TestStartPlanCollectMatchesPlan and FuzzRouteStreamCollect pin the
+// equivalence.
 func (pl *Planner) buildPlan(pi, colors []int) (*Plan, error) {
 	nw := pl.nw
 	d, g := nw.D, nw.G
@@ -221,7 +231,6 @@ func (pl *Planner) buildPlan(pi, colors []int) (*Plan, error) {
 // conflicting schedule.
 func (pl *Planner) checkFairInvariants(pi, colors []int, colorCount int) error {
 	nw := pl.nw
-	d, g := nw.D, nw.G
 	if len(colors) != nw.N() {
 		return fmt.Errorf("core: %d colors for %d packets", len(colors), nw.N())
 	}
@@ -237,45 +246,58 @@ func (pl *Planner) checkFairInvariants(pi, colors []int, colorCount int) error {
 		}
 		byColor[c] = append(byColor[c], p)
 	}
-	// Properness per color class: equations (4) and (6) say a class repeats
-	// neither a source group nor a destination group. Each class touches at
-	// most min(d, g) groups, so one g-sized table with undo-resets keeps the
-	// whole check O(n) regardless of the shape's aspect ratio.
+	// Properness per color class: checkClass verifies equations (4)–(7) for
+	// each bucket. The streaming planner runs the identical check per class
+	// as each factor lands instead of over a bucketed table at the end.
+	for c, class := range byColor {
+		if err := pl.checkClass(pi, class, c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkClass verifies the fair-distribution invariants for one color class:
+// exactly min(d, g) packets (equations (5)/(7)) repeating neither a source
+// group (eq (4)) nor a destination group (eq (6)). Each class touches at
+// most min(d, g) groups, so one g-sized table with undo-resets keeps the
+// whole check O(len(class)) regardless of the shape's aspect ratio.
+func (pl *Planner) checkClass(pi, class []int, c int) error {
+	nw := pl.nw
+	d, g := nw.D, nw.G
 	want := d
 	if g < d {
 		want = g
 	}
 	seen := pl.seenGroup
-	for c, class := range byColor {
-		if len(class) != want {
-			return fmt.Errorf("core: eq (5)/(7) violated: color %d has %d packets, want %d", c, len(class), want)
-		}
-		for i, p := range class {
-			h := nw.Group(p)
-			if seen[h] {
-				for _, q := range class[:i] {
-					seen[nw.Group(q)] = false
-				}
-				return fmt.Errorf("core: eq (4) violated: source group %d repeats color %d", h, c)
+	if len(class) != want {
+		return fmt.Errorf("core: eq (5)/(7) violated: color %d has %d packets, want %d", c, len(class), want)
+	}
+	for i, p := range class {
+		h := nw.Group(p)
+		if seen[h] {
+			for _, q := range class[:i] {
+				seen[nw.Group(q)] = false
 			}
-			seen[h] = true
+			return fmt.Errorf("core: eq (4) violated: source group %d repeats color %d", h, c)
 		}
-		for _, p := range class {
-			seen[nw.Group(p)] = false
-		}
-		for i, p := range class {
-			h := nw.Group(pi[p])
-			if seen[h] {
-				for _, q := range class[:i] {
-					seen[nw.Group(pi[q])] = false
-				}
-				return fmt.Errorf("core: eq (6) violated: destination group %d repeats color %d", h, c)
+		seen[h] = true
+	}
+	for _, p := range class {
+		seen[nw.Group(p)] = false
+	}
+	for i, p := range class {
+		h := nw.Group(pi[p])
+		if seen[h] {
+			for _, q := range class[:i] {
+				seen[nw.Group(pi[q])] = false
 			}
-			seen[h] = true
+			return fmt.Errorf("core: eq (6) violated: destination group %d repeats color %d", h, c)
 		}
-		for _, p := range class {
-			seen[nw.Group(pi[p])] = false
-		}
+		seen[h] = true
+	}
+	for _, p := range class {
+		seen[nw.Group(pi[p])] = false
 	}
 	return nil
 }

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"pops/internal/edgecolor"
+	"pops/internal/perms"
+	"pops/internal/popsnet"
+)
+
+// streamShapes spans both paper cases (1 < d ≤ g and d > g), the direct
+// d = 1 network, and shapes whose last round is partial (g ∤ colorCount).
+func streamShapes() []struct{ d, g int } {
+	return []struct{ d, g int }{
+		{1, 6}, {2, 2}, {3, 3}, {2, 8}, {4, 16}, {8, 4}, {12, 8}, {5, 3}, {16, 4},
+	}
+}
+
+// TestStartPlanCollectMatchesPlan requires the collected streaming plan to
+// be deep-equal to the batch plan — permutation, colors, rounds, strategy,
+// and every slot of the schedule — across shapes, algorithms and seeds.
+func TestStartPlanCollectMatchesPlan(t *testing.T) {
+	for _, algo := range []edgecolor.Algorithm{edgecolor.RepeatedMatching, edgecolor.EulerSplitDC, edgecolor.Insertion} {
+		for _, s := range streamShapes() {
+			pl, err := NewPlanner(s.d, s.g, Options{Algorithm: algo})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for seed := int64(0); seed < 3; seed++ {
+				pi := perms.Random(s.d*s.g, rand.New(rand.NewSource(seed)))
+				want, err := pl.Plan(pi)
+				if err != nil {
+					t.Fatalf("%v d=%d g=%d: batch: %v", algo, s.d, s.g, err)
+				}
+				ps, err := pl.StartPlan(pi)
+				if err != nil {
+					t.Fatalf("%v d=%d g=%d: StartPlan: %v", algo, s.d, s.g, err)
+				}
+				got, err := ps.Collect()
+				if err != nil {
+					t.Fatalf("%v d=%d g=%d: Collect: %v", algo, s.d, s.g, err)
+				}
+				if !reflect.DeepEqual(got.Pi, want.Pi) || !reflect.DeepEqual(got.Colors, want.Colors) ||
+					got.Rounds != want.Rounds || got.Strategy != want.Strategy || got.Net != want.Net {
+					t.Fatalf("%v d=%d g=%d seed=%d: plan metadata diverges", algo, s.d, s.g, seed)
+				}
+				if !reflect.DeepEqual(got.Schedule().Slots, want.Schedule().Slots) {
+					t.Fatalf("%v d=%d g=%d seed=%d: schedules diverge", algo, s.d, s.g, seed)
+				}
+			}
+		}
+	}
+}
+
+// TestPlanStreamFragments walks the fragments of one stream and checks the
+// streaming contract: every fragment lands inside its declared slot, covers
+// it exactly once across the stream, and the Final flag fires exactly when
+// its slot has been fully delivered.
+func TestPlanStreamFragments(t *testing.T) {
+	for _, s := range streamShapes() {
+		pl, err := NewPlanner(s.d, s.g, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pi := perms.Random(s.d*s.g, rand.New(rand.NewSource(7)))
+		ps, err := pl.StartPlan(pi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		covered := make([]int, ps.SlotCount())
+		finals := make([]bool, ps.SlotCount())
+		fragments := 0
+		for {
+			frag, ok := ps.Next()
+			if !ok {
+				break
+			}
+			fragments++
+			if frag.Slot < 0 || frag.Slot >= ps.SlotCount() {
+				t.Fatalf("d=%d g=%d: fragment slot %d outside schedule", s.d, s.g, frag.Slot)
+			}
+			if len(frag.Sends) != len(frag.Recvs) || len(frag.Sends) == 0 {
+				t.Fatalf("d=%d g=%d: fragment with %d sends, %d recvs", s.d, s.g, len(frag.Sends), len(frag.Recvs))
+			}
+			covered[frag.Slot] += len(frag.Sends)
+			if finals[frag.Slot] {
+				t.Fatalf("d=%d g=%d: slot %d received a fragment after Final", s.d, s.g, frag.Slot)
+			}
+			if frag.Final {
+				finals[frag.Slot] = true
+			}
+		}
+		if err := ps.Err(); err != nil {
+			t.Fatal(err)
+		}
+		if fragments != ps.FragmentCount() {
+			t.Fatalf("d=%d g=%d: %d fragments, want %d", s.d, s.g, fragments, ps.FragmentCount())
+		}
+		plan := ps.Plan()
+		if plan == nil {
+			t.Fatalf("d=%d g=%d: no plan after exhaustion", s.d, s.g)
+		}
+		for i, slot := range plan.Schedule().Slots {
+			if covered[i] != len(slot.Sends) {
+				t.Fatalf("d=%d g=%d: slot %d covered by %d of %d sends", s.d, s.g, i, covered[i], len(slot.Sends))
+			}
+			if !finals[i] {
+				t.Fatalf("d=%d g=%d: slot %d never marked Final", s.d, s.g, i)
+			}
+		}
+		// The assembled schedule must route pi.
+		if _, err := popsnet.VerifyPermutationRouted(plan.Schedule(), pi); err != nil {
+			t.Fatalf("d=%d g=%d: %v", s.d, s.g, err)
+		}
+	}
+}
+
+// TestStartPlanValidation mirrors Plan's validation on the streaming entry.
+func TestStartPlanValidation(t *testing.T) {
+	pl, err := NewPlanner(2, 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pl.StartPlan([]int{0, 1, 2}); err == nil {
+		t.Fatal("short permutation accepted")
+	}
+	if _, err := pl.StartPlan([]int{0, 0, 1, 2, 3, 3}); err == nil {
+		t.Fatal("non-permutation accepted")
+	}
+}
+
+// TestStartPlanVerifyOption pins that Options.Verify replays the collected
+// schedule, matching the batch path's behavior.
+func TestStartPlanVerifyOption(t *testing.T) {
+	pl, err := NewPlanner(4, 4, Options{Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi := perms.Random(16, rand.New(rand.NewSource(9)))
+	ps, err := pl.StartPlan(pi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ps.Collect(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -39,35 +39,72 @@ func Balanced(b *graph.Bipartite, colorCount int, algo Algorithm) ([]int, error)
 // the common case for a planner coloring a stream of demand graphs on one
 // network — so steady-state calls do not allocate.
 func (f *Factorizer) BalancedInto(colors []int, b *graph.Bipartite, colorCount int, algo Algorithm) error {
+	f.streamGen++ // supersede any in-flight Stream; the arena is reused now
+	classSize, padded, err := f.balancedSetup(b, colorCount, len(colors))
+	if err != nil || colorCount == 0 {
+		return err
+	}
+	if padded == nil {
+		// C == k: a plain 1-factorization already has classes of size n.
+		return f.FactorizeInto(colors, b, algo)
+	}
+
+	f.padColors = graph.ResizeInts(f.padColors, padded.NumEdges())
+	if err := f.FactorizeInto(f.padColors, padded, algo); err != nil {
+		return fmt.Errorf("edgecolor: factorizing padded graph: %w", err)
+	}
+	f.classCount = graph.ResizeInts(f.classCount, colorCount)
+	for c := range f.classCount {
+		f.classCount[c] = 0
+	}
+	for id := 0; id < b.NumEdges(); id++ {
+		c := f.padColors[id]
+		colors[id] = c
+		f.classCount[c]++
+	}
+	for c, size := range f.classCount {
+		if size != classSize {
+			return fmt.Errorf("edgecolor: internal error: class %d has %d real edges, want %d",
+				c, size, classSize)
+		}
+	}
+	return nil
+}
+
+// balancedSetup validates a Balanced instance and, when padding is needed
+// (classSize < n), rebuilds the Theorem 1 padded graph in the arena and
+// returns it; a nil padded graph means a plain 1-factorization of b already
+// has the required class sizes. colorsLen is the caller's output-slice
+// length, validated against b. Shared by the batch BalancedInto and the
+// streaming StartBalanced so both factorize the identical instance.
+func (f *Factorizer) balancedSetup(b *graph.Bipartite, colorCount, colorsLen int) (classSize int, padded *graph.Bipartite, err error) {
 	n := b.NLeft()
 	if n != b.NRight() {
-		return fmt.Errorf("edgecolor: Balanced needs equal sides, got %d and %d", n, b.NRight())
+		return 0, nil, fmt.Errorf("edgecolor: Balanced needs equal sides, got %d and %d", n, b.NRight())
 	}
 	k, ok := b.RegularDegree()
 	if !ok {
-		return graph.ErrNotBipartiteRegular
+		return 0, nil, graph.ErrNotBipartiteRegular
 	}
 	if colorCount < k {
-		return fmt.Errorf("edgecolor: %d colors cannot properly color a %d-regular graph", colorCount, k)
+		return 0, nil, fmt.Errorf("edgecolor: %d colors cannot properly color a %d-regular graph", colorCount, k)
 	}
-	if len(colors) != b.NumEdges() {
-		return fmt.Errorf("edgecolor: %d color slots for %d edges", len(colors), b.NumEdges())
+	if colorsLen != b.NumEdges() {
+		return 0, nil, fmt.Errorf("edgecolor: %d color slots for %d edges", colorsLen, b.NumEdges())
 	}
 	if colorCount == 0 {
-		return nil
+		return 0, nil, nil
 	}
 	if (n*k)%colorCount != 0 {
-		return fmt.Errorf("edgecolor: %d colors do not divide %d edges evenly", colorCount, n*k)
+		return 0, nil, fmt.Errorf("edgecolor: %d colors do not divide %d edges evenly", colorCount, n*k)
 	}
-	classSize := n * k / colorCount
+	classSize = n * k / colorCount
 	pad := n - classSize // |V| = |V'|
 	if pad < 0 {
-		return fmt.Errorf("edgecolor: class size %d exceeds side size %d", classSize, n)
+		return 0, nil, fmt.Errorf("edgecolor: class size %d exceeds side size %d", classSize, n)
 	}
-
 	if pad == 0 {
-		// C == k: a plain 1-factorization already has classes of size n.
-		return f.FactorizeInto(colors, b, algo)
+		return classSize, nil, nil
 	}
 
 	// Build the padded graph into the arena. Real edges first so their IDs
@@ -95,27 +132,7 @@ func (f *Factorizer) BalancedInto(colors []int, b *graph.Bipartite, colorCount i
 		p.AddEdge(c%n, n+c/colorCount)
 	}
 	if !p.IsRegular(colorCount) {
-		return fmt.Errorf("edgecolor: internal error: padded graph is not %d-regular", colorCount)
+		return 0, nil, fmt.Errorf("edgecolor: internal error: padded graph is not %d-regular", colorCount)
 	}
-
-	f.padColors = graph.ResizeInts(f.padColors, p.NumEdges())
-	if err := f.FactorizeInto(f.padColors, p, algo); err != nil {
-		return fmt.Errorf("edgecolor: factorizing padded graph: %w", err)
-	}
-	f.classCount = graph.ResizeInts(f.classCount, colorCount)
-	for c := range f.classCount {
-		f.classCount[c] = 0
-	}
-	for id := 0; id < b.NumEdges(); id++ {
-		c := f.padColors[id]
-		colors[id] = c
-		f.classCount[c]++
-	}
-	for c, size := range f.classCount {
-		if size != classSize {
-			return fmt.Errorf("edgecolor: internal error: class %d has %d real edges, want %d",
-				c, size, classSize)
-		}
-	}
-	return nil
+	return classSize, p, nil
 }

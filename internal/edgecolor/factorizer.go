@@ -45,6 +45,17 @@ type Factorizer struct {
 	rest       []int        // unmatched-index word-walk output
 	inMatch    bitvec.Vec
 	stack      []segTask
+	factorBuf  []int // edge IDs of the factor peeled by a matching step
+	realBuf    []int // factorBuf filtered to real (unpadded) edge IDs
+
+	// Repeated-matching resumption state: the round about to be extracted
+	// and the live segment length. The Euler-split stepper needs no extra
+	// state — its work stack is the resumable position.
+	repRound, repK, repLen int
+
+	// streamGen invalidates the in-flight Stream (see Start) whenever
+	// another arena entry point reuses the factorization scratch.
+	streamGen uint64
 
 	// Insertion coloring scratch: flat color tables and the alternating
 	// path, see colorInsertionInto.
@@ -103,6 +114,7 @@ func (f *Factorizer) FactorizeInto(colors []int, b *graph.Bipartite, algo Algori
 	if len(colors) != b.NumEdges() {
 		return fmt.Errorf("edgecolor: %d color slots for %d edges", len(colors), b.NumEdges())
 	}
+	f.streamGen++ // supersede any in-flight Stream; the arena is reused now
 	switch algo {
 	case RepeatedMatching:
 		return f.factorizeRepeated(colors, b, k)
@@ -137,6 +149,12 @@ func (f *Factorizer) prepare(m, nL int) {
 	if cap(f.rest) < m {
 		f.rest = make([]int, 0, m)
 	}
+	if cap(f.factorBuf) < nL {
+		f.factorBuf = make([]int, 0, nL)
+	}
+	if cap(f.realBuf) < nL {
+		f.realBuf = make([]int, 0, nL)
+	}
 }
 
 // gather copies the endpoints of the segment's edges into the arena's edge
@@ -161,18 +179,26 @@ func (f *Factorizer) compact(lo, segLen int) int {
 	return len(f.rest)
 }
 
-// factorizeEuler is the Euler-split divide and conquer, iteratively: halve
-// even-degree segments with the arena splitter, peel one perfect matching
-// (Alon Euler-halving) at odd degrees, color whole segments at degree one.
-func (f *Factorizer) factorizeEuler(colors []int, b *graph.Bipartite, k int) error {
-	if k == 0 {
-		return nil
-	}
+// eulerStart seeds the Euler-split work stack for a fresh factorization.
+// The k == 0 (empty) instance leaves the stack empty, so the first
+// eulerNext reports exhaustion.
+func (f *Factorizer) eulerStart(b *graph.Bipartite, k int) {
 	m := b.NumEdges()
-	nL, nR := b.NLeft(), b.NRight()
-	f.prepare(m, nL)
-	all := b.EdgeList()
-	f.stack = append(f.stack[:0], segTask{lo: 0, hi: m, k: k, base: 0})
+	f.prepare(m, b.NLeft())
+	f.stack = f.stack[:0]
+	if k > 0 {
+		f.stack = append(f.stack, segTask{lo: 0, hi: m, k: k, base: 0})
+	}
+}
+
+// eulerNext resumes the Euler-split divide and conquer until exactly one
+// more 1-factor is complete: it halves even-degree segments with the arena
+// splitter, peels one perfect matching (Alon Euler-halving) at odd degrees,
+// and colors whole segments at degree one. The completed factor's class
+// index is written into colors for each of its edges, whose IDs are
+// returned in factor (arena-owned, valid until the next arena call).
+// ok is false once every factor has been produced.
+func (f *Factorizer) eulerNext(colors []int, all []graph.Edge, nL, nR int) (factorID int, factor []int, ok bool, err error) {
 	for len(f.stack) > 0 {
 		t := f.stack[len(f.stack)-1]
 		f.stack = f.stack[:len(f.stack)-1]
@@ -182,24 +208,31 @@ func (f *Factorizer) factorizeEuler(colors []int, b *graph.Bipartite, k int) err
 			for _, id := range seg {
 				colors[id] = t.base
 			}
+			// seg is never revisited: segments are disjoint and this one
+			// leaves the stack for good, so it is safe to hand out.
+			return t.base, seg, true, nil
 		case t.k%2 == 1:
 			view := f.gather(all, seg)
 			nMatch, err := f.matcher.PerfectMatchingRegularInto(nL, t.k, view, f.match)
 			if err != nil {
-				return fmt.Errorf("edgecolor: peeling matching at degree %d: %w", t.k, err)
+				return 0, nil, false, fmt.Errorf("edgecolor: peeling matching at degree %d: %w", t.k, err)
 			}
 			f.inMatch = f.inMatch.Resize(len(seg))
+			f.factorBuf = f.factorBuf[:0]
 			for _, j := range f.match[:nMatch] {
-				colors[seg[j]] = t.base + t.k - 1
+				id := seg[j]
+				colors[id] = t.base + t.k - 1
+				f.factorBuf = append(f.factorBuf, id)
 				f.inMatch.Set(j)
 			}
 			restLen := f.compact(t.lo, len(seg))
 			f.stack = append(f.stack, segTask{lo: t.lo, hi: t.lo + restLen, k: t.k - 1, base: t.base})
+			return t.base + t.k - 1, f.factorBuf, true, nil
 		default:
 			view := f.gather(all, seg)
 			nA, _, err := f.split.Split(nL, nR, view, f.outA, f.outB)
 			if err != nil {
-				return err
+				return 0, nil, false, err
 			}
 			// Reorder the segment to A-half then B-half, in traversal order
 			// — the order a materialized subgraph would list its edges in.
@@ -216,30 +249,73 @@ func (f *Factorizer) factorizeEuler(colors []int, b *graph.Bipartite, k int) err
 				segTask{lo: t.lo, hi: t.lo + nA, k: t.k / 2, base: t.base})
 		}
 	}
-	return nil
+	return 0, nil, false, nil
 }
 
-// factorizeRepeated extracts k perfect matchings one at a time with
-// Hopcroft–Karp, compacting the surviving segment after each round.
-func (f *Factorizer) factorizeRepeated(colors []int, b *graph.Bipartite, k int) error {
-	m := b.NumEdges()
-	nL, nR := b.NLeft(), b.NRight()
-	f.prepare(m, nL)
+// factorizeEuler drains the Euler-split stepper — the batch path and
+// Stream.Next resume exactly the same loop, so their colorings cannot
+// diverge.
+func (f *Factorizer) factorizeEuler(colors []int, b *graph.Bipartite, k int) error {
+	f.eulerStart(b, k)
 	all := b.EdgeList()
-	curLen := m
-	for round := 0; round < k; round++ {
-		view := f.gather(all, f.ids[:curLen])
-		nMatch := f.matcher.HopcroftKarpInto(nL, nR, view, f.match)
-		if nMatch != nL {
-			return fmt.Errorf("edgecolor: round %d: matching size %d of %d (graph not regular?)",
-				round, nMatch, nL)
+	nL, nR := b.NLeft(), b.NRight()
+	for {
+		_, _, ok, err := f.eulerNext(colors, all, nL, nR)
+		if err != nil {
+			return err
 		}
-		f.inMatch = f.inMatch.Resize(curLen)
-		for _, j := range f.match[:nMatch] {
-			colors[f.ids[j]] = round
-			f.inMatch.Set(j)
+		if !ok {
+			return nil
 		}
-		curLen = f.compact(0, curLen)
 	}
-	return nil
+}
+
+// repStart resets the repeated-matching resumption state.
+func (f *Factorizer) repStart(b *graph.Bipartite, k int) {
+	m := b.NumEdges()
+	f.prepare(m, b.NLeft())
+	f.repRound, f.repK, f.repLen = 0, k, m
+}
+
+// repNext extracts one more perfect matching with Hopcroft–Karp and compacts
+// the surviving segment. Same contract as eulerNext.
+func (f *Factorizer) repNext(colors []int, all []graph.Edge, nL, nR int) (factorID int, factor []int, ok bool, err error) {
+	if f.repRound >= f.repK {
+		return 0, nil, false, nil
+	}
+	round := f.repRound
+	view := f.gather(all, f.ids[:f.repLen])
+	nMatch := f.matcher.HopcroftKarpInto(nL, nR, view, f.match)
+	if nMatch != nL {
+		return 0, nil, false, fmt.Errorf("edgecolor: round %d: matching size %d of %d (graph not regular?)",
+			round, nMatch, nL)
+	}
+	f.inMatch = f.inMatch.Resize(f.repLen)
+	f.factorBuf = f.factorBuf[:0]
+	for _, j := range f.match[:nMatch] {
+		id := f.ids[j]
+		colors[id] = round
+		f.factorBuf = append(f.factorBuf, id)
+		f.inMatch.Set(j)
+	}
+	f.repLen = f.compact(0, f.repLen)
+	f.repRound++
+	return round, f.factorBuf, true, nil
+}
+
+// factorizeRepeated drains the repeated-matching stepper (see
+// factorizeEuler on why batch and stream share it).
+func (f *Factorizer) factorizeRepeated(colors []int, b *graph.Bipartite, k int) error {
+	f.repStart(b, k)
+	all := b.EdgeList()
+	nL, nR := b.NLeft(), b.NRight()
+	for {
+		_, _, ok, err := f.repNext(colors, all, nL, nR)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+	}
 }

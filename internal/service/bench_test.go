@@ -82,6 +82,93 @@ func BenchmarkServiceRouteBatch(b *testing.B) {
 	}
 }
 
+// BenchmarkServiceStream measures the streamed wire path over HTTP chunked
+// NDJSON at the acceptance shape d=16/g=64. first-slot is the headline
+// latency: POST /route/stream, read the meta record and the first slot
+// record, then hang up (the server notices the dead connection and abandons
+// the rest of the plan); drain reads the whole stream; route-full is the
+// batch wire baseline — with include_schedule, so both sides serialize the
+// complete slot schedule — whose first slot is only available when the
+// whole plan arrives. The cache is disabled so every request plans from
+// scratch.
+func BenchmarkServiceStream(b *testing.B) {
+	const d, g = 16, 64
+	pi := pops.VectorReversal(d * g)
+	newServer := func(b *testing.B) (*pops.ServiceClient, func()) {
+		svc := New(Config{BatchDelay: 50 * time.Microsecond, CacheSize: -1})
+		srv := httptest.NewServer(svc.Handler())
+		return pops.NewServiceClient(srv.URL, srv.Client()), func() {
+			srv.CloseClientConnections()
+			svc.Close()
+			srv.Close()
+		}
+	}
+	ctx := context.Background()
+	b.Run("route-full", func(b *testing.B) {
+		client, shutdown := newServer(b)
+		defer shutdown()
+		req := &pops.ServiceRouteRequest{D: d, G: g, Pi: pi, IncludeSchedule: true}
+		if _, err := client.Do(ctx, req); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			resp, err := client.Do(ctx, req)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if resp.Plans[0].Error != "" || resp.Plans[0].Schedule == nil {
+				b.Fatal("no schedule in response")
+			}
+		}
+	})
+	b.Run("stream-first-slot", func(b *testing.B) {
+		client, shutdown := newServer(b)
+		defer shutdown()
+		if _, err := client.Route(ctx, d, g, pi); err != nil { // warm the shard
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			st, err := client.RouteStream(ctx, d, g, pi)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if rec, err := st.Next(); err != nil || rec == nil {
+				b.Fatal("no first slot record:", err)
+			}
+			st.Close() // abandon: the server stops planning and releases the worker
+		}
+	})
+	b.Run("stream-drain", func(b *testing.B) {
+		client, shutdown := newServer(b)
+		defer shutdown()
+		if _, err := client.Route(ctx, d, g, pi); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			st, err := client.RouteStream(ctx, d, g, pi)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for {
+				rec, err := st.Next()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rec == nil {
+					break
+				}
+			}
+			st.Close()
+		}
+	})
+}
+
 // BenchmarkServiceInProcess isolates the serving layers without HTTP: the
 // admission queue + planner path as popsserved's handler sees it.
 func BenchmarkServiceInProcess(b *testing.B) {

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"runtime"
 	"strconv"
 
 	"pops"
@@ -17,18 +18,21 @@ const maxRequestBody = 64 << 20
 
 // Handler returns the service's HTTP surface:
 //
-//	POST /route    plan one permutation ("pi") or a batch ("pis")
-//	GET  /slots    Theorem 2 slot count for ?d=&g=
-//	GET  /stats    shard, cache, batching and latency counters
-//	GET  /healthz  liveness ("ok" until Close starts)
+//	POST /route         plan one permutation ("pi") or a batch ("pis")
+//	POST /route/stream  stream one permutation's slots as NDJSON chunks
+//	GET  /slots         Theorem 2 slot count for ?d=&g=
+//	GET  /stats         shard, cache, batching, latency and TTFS counters
+//	GET  /healthz       liveness ("ok" until Close starts)
 //
 // Requests and responses use the JSON schema of internal/wire. Malformed
 // requests (bad JSON, invalid shape, unknown strategy) get 400; requests
 // admitted after Close starts get 503; per-permutation planning failures
-// travel as the error field of their PlanResult under a 200.
+// travel as the error field of their PlanResult under a 200 (or as an
+// "error" stream record once a stream has opened).
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /route", s.handleRoute)
+	mux.HandleFunc("POST /route/stream", s.handleRouteStream)
 	mux.HandleFunc("GET /slots", s.handleSlots)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -84,6 +88,74 @@ func (s *Service) handleRoute(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleRouteStream serves POST /route/stream: the slot schedule of one
+// permutation as newline-delimited JSON (wire.StreamRecord), each record
+// flushed as its own chunk so early slots reach the caller while later
+// color classes are still being peeled. Admission errors are plain HTTP
+// statuses; once the meta record has been written, failures travel as an
+// "error" record.
+func (s *Service) handleRouteStream(w http.ResponseWriter, r *http.Request) {
+	var req wire.RouteRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
+	if err := dec.Decode(&req); err != nil {
+		http.Error(w, "service: decoding request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(req.Pis) > 0 || len(req.Pi) == 0 {
+		http.Error(w, "service: /route/stream takes exactly one permutation (pi)", http.StatusBadRequest)
+		return
+	}
+	st, err := s.RouteStream(req.D, req.G, req.Pi, req.Strategy)
+	if err != nil {
+		http.Error(w, err.Error(), requestStatus(err))
+		return
+	}
+	defer st.Close()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	ctx := r.Context()
+	write := func(rec wire.StreamRecord) bool {
+		if err := enc.Encode(rec); err != nil {
+			return false // client went away; Close releases the worker
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		// Hand the processor to waiting readers: without this, a CPU-bound
+		// factorization loop on a loaded (or single-core) runtime can emit
+		// the entire plan before the connection goroutine ever runs,
+		// silently turning the stream back into a batch.
+		runtime.Gosched()
+		return true
+	}
+	meta := st.Meta()
+	if !write(wire.StreamRecord{Type: "meta", Meta: &meta}) {
+		return
+	}
+	for {
+		// A hung-up client cancels the request context; stop peeling
+		// factors for a plan nobody is reading rather than discovering the
+		// dead connection through a buffered write much later.
+		if ctx.Err() != nil {
+			return
+		}
+		slot, ok := st.Next()
+		if !ok {
+			break
+		}
+		if !write(wire.StreamRecord{Type: "slot", Slot: &slot}) {
+			return
+		}
+	}
+	if err := st.Err(); err != nil {
+		write(wire.StreamRecord{Type: "error", Error: err.Error()})
+		return
+	}
+	write(wire.StreamRecord{Type: "done", Done: &wire.StreamDone{Slots: meta.Slots, Fragments: meta.Fragments}})
 }
 
 // planResult converts one planning outcome to its wire form.

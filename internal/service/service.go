@@ -13,10 +13,20 @@
 // mesh shifts) are answered without replanning; hit/miss counters and a
 // request-latency histogram are exported over GET /stats.
 //
+// POST /route/stream delivers a plan incrementally: the stream checks a
+// worker planner out of the shard's pool and flushes one NDJSON slot record
+// per color class as the König factorization peels it, so the first slots
+// reach the caller in a fraction of the full planning latency — and the
+// shard's admission queue keeps admitting (and batching) other requests
+// between records, including while a stream's factorization is still in
+// progress. GET /stats exports a time-to-first-slot histogram next to the
+// request-latency one.
+//
 // The HTTP surface (Handler) speaks the JSON schema of internal/wire:
-// POST /route, GET /slots, GET /stats, GET /healthz. Close drains every
-// shard's in-flight batches before returning, which is what popsserved's
-// graceful shutdown calls after http.Server.Shutdown.
+// POST /route, POST /route/stream, GET /slots, GET /stats, GET /healthz.
+// Close drains every shard's in-flight batches and slot streams before
+// returning, which is what popsserved's graceful shutdown calls after
+// http.Server.Shutdown.
 package service
 
 import (
@@ -92,6 +102,14 @@ type Service struct {
 	retiredHits   atomic.Uint64
 	retiredMisses atomic.Uint64
 	latency       histogram
+
+	// Streaming state: /route/stream requests bypass the admission queues
+	// (each stream owns a worker planner), so graceful drain tracks them
+	// separately; ttfs is the time-to-first-slot histogram.
+	streams       atomic.Uint64
+	streamedSlots atomic.Uint64
+	ttfs          histogram
+	streamsWG     sync.WaitGroup
 }
 
 // New builds a Service with the given configuration.
@@ -240,13 +258,16 @@ func (s *Service) Stats() wire.StatsResponse {
 	s.mu.Unlock()
 
 	resp := wire.StatsResponse{
-		ShardCount:    len(shards),
-		MaxShards:     s.cfg.MaxShards,
-		EvictedShards: s.evictedShards.Load(),
-		Requests:      s.requests.Load(),
-		CacheHits:     s.retiredHits.Load(),
-		CacheMisses:   s.retiredMisses.Load(),
-		Latency:       s.latency.snapshot(),
+		ShardCount:      len(shards),
+		MaxShards:       s.cfg.MaxShards,
+		EvictedShards:   s.evictedShards.Load(),
+		Requests:        s.requests.Load(),
+		Streams:         s.streams.Load(),
+		StreamedSlots:   s.streamedSlots.Load(),
+		CacheHits:       s.retiredHits.Load(),
+		CacheMisses:     s.retiredMisses.Load(),
+		Latency:         s.latency.snapshot(),
+		TimeToFirstSlot: s.ttfs.snapshot(),
 	}
 	for _, sh := range shards {
 		st := sh.stats()
@@ -257,13 +278,16 @@ func (s *Service) Stats() wire.StatsResponse {
 	return resp
 }
 
-// Close stops admitting requests, drains every shard's in-flight batches,
-// and waits for the shard loops to exit. It is idempotent.
+// Close stops admitting requests, drains every shard's in-flight batches
+// AND in-flight slot streams — a stream admitted before Close keeps
+// delivering until its consumer has every remaining slot — and waits for
+// the shard loops to exit. It is idempotent.
 func (s *Service) Close() {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		s.wg.Wait()
+		s.streamsWG.Wait()
 		return
 	}
 	s.closed = true
@@ -276,4 +300,5 @@ func (s *Service) Close() {
 		sh.close()
 	}
 	s.wg.Wait()
+	s.streamsWG.Wait()
 }

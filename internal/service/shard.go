@@ -53,6 +53,7 @@ type shard struct {
 	routers   map[string]pops.Router
 
 	requests atomic.Uint64
+	streams  atomic.Uint64
 	batches  atomic.Uint64
 	batched  atomic.Uint64
 	maxBatch atomic.Uint64
@@ -265,6 +266,7 @@ func (sh *shard) stats() wire.ShardStats {
 		D:               sh.key.d,
 		G:               sh.key.g,
 		Requests:        sh.requests.Load(),
+		Streams:         sh.streams.Load(),
 		Batches:         sh.batches.Load(),
 		BatchedRequests: sh.batched.Load(),
 		MaxBatch:        sh.maxBatch.Load(),

@@ -1,0 +1,198 @@
+package service
+
+import (
+	"fmt"
+	"time"
+
+	"pops"
+	"pops/internal/wire"
+)
+
+// Stream is one admitted /route/stream request: a handle that delivers the
+// plan's slot fragments as the shard's planner peels them. Streams bypass
+// the shard's micro-batching queue — each stream checks a worker planner
+// out of the shard's pops.Planner pool and runs on the caller's goroutine,
+// so the admission queue keeps admitting (and flushing) other requests
+// between Next calls, including while this stream's factorization is still
+// in progress.
+//
+// The caller MUST Close the stream (idempotent, safe after exhaustion):
+// Close releases the worker planner back to the shard's pool and signals
+// the service's drain bookkeeping — an abandoned stream would otherwise
+// block graceful shutdown.
+type Stream struct {
+	svc   *Service
+	sh    *shard
+	ps    *pops.PlanStream // nil for non-relay strategies (plan below)
+	plan  *pops.Plan       // whole-slot replay for non-default strategies
+	meta  wire.StreamMeta
+	start time.Time
+	ttfs  bool // first fragment observed
+
+	replayIdx int
+	slots     uint64
+	ended     bool // all fragments produced (or planning failed)
+	err       error
+	closed    bool
+}
+
+// RouteStream admits a streaming plan request for pi on POPS(d, g). The
+// returned error is request-level (invalid shape or permutation, unknown
+// strategy, service shutting down); planning failures after admission
+// surface through Stream.Err. Strategy "" and "theorem2" stream
+// incrementally; other strategies plan first and then replay whole slots.
+func (s *Service) RouteStream(d, g int, pi []int, strategy string) (*Stream, error) {
+	for {
+		sh, err := s.shardFor(d, g)
+		if err != nil {
+			return nil, err
+		}
+		st, err := sh.admitStream(pi, strategy)
+		if err == errShardRetired {
+			continue // the shard was evicted between lookup and admission
+		}
+		if err != nil {
+			return nil, err
+		}
+		return st, nil
+	}
+}
+
+// admitStream checks shutdown state, registers the stream with the
+// service's drain group, and starts planning.
+func (sh *shard) admitStream(pi []int, strategy string) (*Stream, error) {
+	svc := sh.svc
+	sh.mu.RLock()
+	if sh.closed {
+		sh.mu.RUnlock()
+		return nil, errShardRetired
+	}
+	// Registered under the admission lock so a concurrent Close cannot
+	// start waiting on the drain group before this stream is counted.
+	svc.streamsWG.Add(1)
+	sh.mu.RUnlock()
+
+	st := &Stream{svc: svc, sh: sh, start: time.Now()}
+	ok := false
+	defer func() {
+		if !ok {
+			svc.streamsWG.Done()
+		}
+	}()
+
+	fingerprint := fmt.Sprintf("%016x", pops.PermutationFingerprint(pi))
+	if strategy == "" || strategy == pops.StrategyTheoremTwo {
+		ps, err := sh.planner.RouteStream(pi)
+		if err != nil {
+			return nil, err
+		}
+		st.ps = ps
+		st.meta = wire.StreamMeta{
+			D: sh.key.d, G: sh.key.g,
+			Slots: ps.SlotCount(), Fragments: ps.FragmentCount(),
+			Strategy: pops.StrategyTheoremTwo, Fingerprint: fingerprint, Cached: ps.Cached(),
+		}
+	} else {
+		// Direct strategies have no incremental planner; plan up front and
+		// stream the finished slots (their time-to-first-slot is the full
+		// planning latency, faithfully recorded in the histogram).
+		r, err := sh.routerFor(strategy)
+		if err != nil {
+			return nil, err
+		}
+		plan, err := r.Route(pi)
+		if err != nil {
+			return nil, err
+		}
+		st.plan = plan
+		st.meta = wire.StreamMeta{
+			D: sh.key.d, G: sh.key.g,
+			Slots: plan.SlotCount(), Fragments: plan.SlotCount(),
+			Strategy: plan.Strategy, Fingerprint: fingerprint,
+		}
+	}
+	sh.requests.Add(1)
+	sh.streams.Add(1)
+	svc.requests.Add(1)
+	svc.streams.Add(1)
+	ok = true
+	return st, nil
+}
+
+// Meta returns the stream's opening record, available immediately after
+// admission — before any slot has been computed.
+func (st *Stream) Meta() wire.StreamMeta { return st.meta }
+
+// Next produces the next slot fragment, or ok == false when the stream is
+// exhausted or failed (see Err). The first successful Next observes the
+// service's time-to-first-slot histogram.
+func (st *Stream) Next() (wire.StreamSlot, bool) {
+	if st.err != nil || st.closed {
+		return wire.StreamSlot{}, false
+	}
+	var rec wire.StreamSlot
+	if st.ps != nil {
+		frag, ok := st.ps.Next()
+		if !ok {
+			st.err = st.ps.Err()
+			if st.err == nil {
+				// Collect the drained plan: under pops.WithVerify this is
+				// where the completed schedule is replayed on the simulator
+				// (a failure becomes the stream's error record instead of a
+				// done record), and where the plan is memoized so repeated
+				// streamed permutations hit the fingerprint cache.
+				if _, err := st.ps.Collect(); err != nil {
+					st.err = err
+				}
+			}
+			st.finish()
+			return wire.StreamSlot{}, false
+		}
+		rec = wire.StreamSlot{Slot: frag.Slot, Color: frag.Color, Offset: frag.Offset, Final: frag.Final, Sends: frag.Sends, Recvs: frag.Recvs}
+	} else {
+		slots := st.plan.Schedule().Slots
+		if st.replayIdx >= len(slots) {
+			st.finish()
+			return wire.StreamSlot{}, false
+		}
+		slot := &slots[st.replayIdx]
+		rec = wire.StreamSlot{Slot: st.replayIdx, Color: -1, Final: true, Sends: slot.Sends, Recvs: slot.Recvs}
+		st.replayIdx++
+	}
+	if !st.ttfs {
+		st.ttfs = true
+		st.svc.ttfs.observe(time.Since(st.start))
+	}
+	st.slots++
+	st.svc.streamedSlots.Add(1)
+	return rec, true
+}
+
+// Err returns the stream's planning error, if any.
+func (st *Stream) Err() error { return st.err }
+
+// finish records the stream's planning latency once all fragments have
+// been produced (or planning failed). Measuring here — not at Close —
+// keeps the shared request-latency histogram a server-side planning
+// signal: Close time is dominated by how slowly the client read the
+// records, and abandoned streams contribute no latency sample at all.
+func (st *Stream) finish() {
+	if st.ended {
+		return
+	}
+	st.ended = true
+	st.svc.latency.observe(time.Since(st.start))
+}
+
+// Close releases the stream's worker planner and unblocks graceful drain.
+// Idempotent; always call it, drained or not.
+func (st *Stream) Close() {
+	if st.closed {
+		return
+	}
+	st.closed = true
+	if st.ps != nil {
+		st.ps.Close()
+	}
+	st.svc.streamsWG.Done()
+}

@@ -54,6 +54,56 @@ type RouteResponse struct {
 	Plans []PlanResult `json:"plans"`
 }
 
+// StreamRecord is one line of the POST /route/stream NDJSON response. The
+// server emits exactly one "meta" record first, then "slot" records as the
+// planner peels color classes — flushed individually, so slots reach the
+// client while later factors are still being computed — and finally one
+// "done" record (or one "error" record if planning failed mid-stream).
+// Exactly one of Meta, Slot, Done and Error is set, matching Type.
+type StreamRecord struct {
+	Type  string      `json:"type"` // "meta", "slot", "done" or "error"
+	Meta  *StreamMeta `json:"meta,omitempty"`
+	Slot  *StreamSlot `json:"slot,omitempty"`
+	Done  *StreamDone `json:"done,omitempty"`
+	Error string      `json:"error,omitempty"`
+}
+
+// StreamMeta opens a slot stream: the shape, the total schedule slot count
+// (known before any slot is computed), how many slot records will follow,
+// and whether the stream replays a fingerprint-cache hit (whole-slot
+// records) or is planned incrementally (one record per color class).
+type StreamMeta struct {
+	D           int    `json:"d"`
+	G           int    `json:"g"`
+	Slots       int    `json:"slots"`
+	Fragments   int    `json:"fragments"`
+	Strategy    string `json:"strategy"`
+	Fingerprint string `json:"fingerprint"`
+	Cached      bool   `json:"cached,omitempty"`
+}
+
+// StreamSlot is one streamed fragment of the schedule: the sends and recvs
+// that one relay color class contributes to slot Slot, starting Offset
+// entries into the slot. Fragments of one slot tile it exactly; Final
+// marks its last fragment. Color is -1 for whole-slot fragments (cache
+// hits and non-relay strategies). Fragments of different slots may
+// interleave, and fragments within a slot may arrive out of Offset order;
+// reassemble by (Slot, Offset) to recover the batch-identical schedule.
+type StreamSlot struct {
+	Slot   int            `json:"slot"`
+	Color  int            `json:"color"`
+	Offset int            `json:"offset"`
+	Final  bool           `json:"final,omitempty"`
+	Sends  []popsnet.Send `json:"sends"`
+	Recvs  []popsnet.Recv `json:"recvs"`
+}
+
+// StreamDone closes a successful slot stream.
+type StreamDone struct {
+	Slots     int `json:"slots"`
+	Fragments int `json:"fragments"`
+}
+
 // SlotsResponse answers GET /slots?d=&g=: the Theorem 2 slot count every
 // permutation on that shape routes in.
 type SlotsResponse struct {
@@ -76,6 +126,10 @@ type ShardStats struct {
 	D        int    `json:"d"`
 	G        int    `json:"g"`
 	Requests uint64 `json:"requests"`
+	// Streams counts /route/stream requests admitted by this shard. They
+	// bypass the micro-batching queue: each stream owns a worker planner
+	// and delivers slot fragments while the queue keeps admitting.
+	Streams uint64 `json:"streams,omitempty"`
 	// Batches and BatchedRequests describe the micro-batching admission
 	// queue: BatchedRequests/Batches is the mean coalesced batch size, and
 	// MaxBatch the largest flush observed.
@@ -101,8 +155,14 @@ type StatsResponse struct {
 	MaxShards     int             `json:"max_shards"`
 	EvictedShards uint64          `json:"evicted_shards"`
 	Requests      uint64          `json:"requests"`
+	Streams       uint64          `json:"streams"`
+	StreamedSlots uint64          `json:"streamed_slots"`
 	CacheHits     uint64          `json:"cache_hits"`
 	CacheMisses   uint64          `json:"cache_misses"`
 	Latency       []LatencyBucket `json:"latency"`
-	Shards        []ShardStats    `json:"shards"`
+	// TimeToFirstSlot is the streaming analogue of Latency: time from
+	// stream admission until the first slot fragment was ready to flush.
+	// It is the measured signal for the per-shape cost model (see ROADMAP).
+	TimeToFirstSlot []LatencyBucket `json:"time_to_first_slot"`
+	Shards          []ShardStats    `json:"shards"`
 }

@@ -35,6 +35,13 @@
 // same planning surface is served over HTTP by cmd/popsserved (sharded per
 // network shape, micro-batched); ServiceClient is its Go client.
 //
+// Plans can also be consumed incrementally: Planner.RouteStream delivers
+// the schedule as slot fragments while the König factorization is still
+// peeling later color classes, with PlanStream.Collect byte-identical to
+// Route — time-to-first-slot is a small fraction of the full planning
+// latency. The service serves the same stream as chunked NDJSON over
+// POST /route/stream (ServiceClient.RouteStream).
+//
 // The facade additionally re-exports the building blocks: the slot-level
 // network simulator (Network, Schedule, Run), the Theorem 1 machinery (fair
 // distributions via balanced bipartite edge coloring), permutation families
@@ -61,10 +68,10 @@ type Algorithm = edgecolor.Algorithm
 
 // Available coloring backends.
 const (
-	// RepeatedMatching extracts perfect matchings with Hopcroft–Karp.
+	// RepeatedMatching extracts perfect matchings with Hopcroft–Karp
+	// (the default: it is the Algorithm zero value).
 	RepeatedMatching = edgecolor.RepeatedMatching
-	// EulerSplitDC is the near-linear Euler-split divide and conquer
-	// (default).
+	// EulerSplitDC is the near-linear Euler-split divide and conquer.
 	EulerSplitDC = edgecolor.EulerSplitDC
 	// Insertion is the O(n·m) alternating-path König coloring.
 	Insertion = edgecolor.Insertion

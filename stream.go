@@ -1,0 +1,198 @@
+package pops
+
+import (
+	"errors"
+	"fmt"
+
+	"pops/internal/core"
+	"pops/internal/perms"
+)
+
+// StreamedSlot is one increment of a streaming plan: the fragment of one
+// schedule slot contributed by a single relay color class (or a whole slot,
+// when the plan was answered from the fingerprint cache). See RouteStream.
+type StreamedSlot = core.StreamedSlot
+
+// PlanStream is an in-progress routing plan whose schedule is delivered
+// incrementally: the first slot fragment is ready after a single color
+// class of the demand graph has been peeled, long before the full
+// factorization behind a batch Route call completes. Drive it with Next, or
+// Collect the remaining fragments into the finished *Plan — byte identical
+// to what Route would have returned for the same permutation.
+//
+// Ownership contract: a live stream owns one of its Planner's worker
+// planners. The worker returns to the pool when the stream is exhausted
+// (Next returned false, or Collect was called) — or when an abandoned
+// stream is Closed. Callers that stop consuming a stream early MUST call
+// Close, or the worker planner leaks from the free list for the stream's
+// lifetime. Close is idempotent and safe after exhaustion.
+//
+// A PlanStream is not safe for concurrent use, but different streams of one
+// Planner — and concurrent Route/RouteBatch calls — are independent.
+type PlanStream struct {
+	p      *Planner
+	worker *core.Planner
+	cs     *core.PlanStream
+
+	// Cache-hit replay state: the memoized plan is emitted as one
+	// whole-slot fragment per schedule slot, no worker needed.
+	plan      *Plan
+	cached    bool
+	replayIdx int
+
+	fp        uint64 // fingerprint, valid when the planner has a cache
+	collected bool   // Collect ran (and, with WithVerify, the replay passed)
+	err       error
+	done      bool
+	total     int
+}
+
+// RouteStream begins streaming the Theorem 2 routing of pi. With
+// WithPlanCache, a memoized permutation short-circuits to an
+// already-materialized stream that replays the cached plan's slots and
+// holds no worker planner; otherwise a worker is checked out and planning
+// proceeds incrementally (see PlanStream for the ownership contract).
+// Validation errors are reported here, planning errors through Err/Collect.
+func (p *Planner) RouteStream(pi []int) (*PlanStream, error) {
+	var fp uint64
+	if p.cache != nil {
+		fp = perms.Fingerprint(pi)
+		if plan, ok := p.cache.get(fp, pi); ok {
+			return &PlanStream{p: p, plan: plan, cached: true, fp: fp, total: plan.SlotCount()}, nil
+		}
+	}
+	worker := p.acquire()
+	cs, err := worker.StartPlan(pi)
+	if err != nil {
+		p.release(worker)
+		return nil, err
+	}
+	return &PlanStream{p: p, worker: worker, cs: cs, fp: fp, total: cs.FragmentCount()}, nil
+}
+
+// Next emits the next slot fragment; ok is false once the stream is
+// exhausted (the assembled plan is then available from Collect) or has
+// failed (see Err). Fragments alias the final plan's schedule storage and
+// must not be modified. Fragment granularity is one color class per
+// fragment — or one whole slot when the plan came from the cache; either
+// way the fragments of one slot tile it exactly, and Final marks each
+// slot's last fragment.
+func (ps *PlanStream) Next() (StreamedSlot, bool) {
+	if ps.done || ps.err != nil {
+		return StreamedSlot{}, false
+	}
+	if ps.cs == nil {
+		slots := ps.plan.Schedule().Slots
+		if ps.replayIdx >= len(slots) {
+			ps.finish()
+			return StreamedSlot{}, false
+		}
+		i := ps.replayIdx
+		ps.replayIdx++
+		slot := &slots[i]
+		return StreamedSlot{Slot: i, Color: -1, Final: true, Sends: slot.Sends, Recvs: slot.Recvs}, true
+	}
+	frag, ok := ps.cs.Next()
+	if !ok {
+		ps.err = ps.cs.Err()
+		ps.plan = ps.cs.Plan()
+		ps.finish()
+		return StreamedSlot{}, false
+	}
+	return frag, true
+}
+
+// Collect drains the remaining fragments and returns the finished plan,
+// byte identical to Route's result for the same permutation (golden-pinned
+// by the package tests). Like Route, a collected plan is memoized in the
+// fingerprint cache. With WithVerify the completed schedule is replayed on
+// the simulator first. Collect on a Closed (abandoned) stream returns an
+// error: its worker planner is already back in the pool.
+func (ps *PlanStream) Collect() (*Plan, error) {
+	if ps.done {
+		// Exhausted (plan ready), failed (sticky error), or abandoned via
+		// Close — never touch the released worker again. A Next-drained
+		// plan still owes its WithVerify replay and memoization: both need
+		// only the finished plan, not the worker.
+		if ps.err != nil {
+			return nil, ps.err
+		}
+		if ps.plan == nil {
+			return nil, errors.New("pops: plan stream closed before completion")
+		}
+		if ps.p.opts.Verify && !ps.collected && !ps.cached {
+			if _, err := ps.plan.Verify(); err != nil {
+				ps.err = fmt.Errorf("pops: schedule failed verification: %w", err)
+				return nil, ps.err
+			}
+			ps.collected = true
+			ps.memoize()
+		}
+		return ps.plan, nil
+	}
+	if ps.cs == nil {
+		// Cache hit: the plan is already materialized (and was verified by
+		// whichever call originally planned it).
+		ps.replayIdx = ps.plan.SlotCount()
+		ps.finish()
+		return ps.plan, nil
+	}
+	plan, err := ps.cs.Collect()
+	if err != nil {
+		ps.err = err
+	} else {
+		ps.collected = true
+	}
+	ps.plan = plan
+	ps.finish()
+	return plan, err
+}
+
+// Close releases the stream's worker planner back to the pool without
+// draining the remaining fragments. Abandoning a stream without Close
+// leaks its worker from the free list. Idempotent; safe after exhaustion.
+func (ps *PlanStream) Close() { ps.finish() }
+
+// finish is the single release point: it returns the worker to the pool
+// exactly once and memoizes a successfully completed plan.
+func (ps *PlanStream) finish() {
+	if ps.done {
+		return
+	}
+	ps.done = true
+	if ps.worker != nil {
+		ps.p.release(ps.worker)
+		ps.worker = nil
+	}
+	ps.memoize()
+}
+
+// memoize caches a successfully completed plan like Route would — except a
+// Next-drained stream under WithVerify, whose plan has not been replayed
+// yet: cached plans must be as trustworthy as Route's, so memoization
+// waits for the Collect that performs the replay.
+func (ps *PlanStream) memoize() {
+	verifiedEnough := !ps.p.opts.Verify || ps.collected
+	if ps.err == nil && ps.plan != nil && !ps.cached && verifiedEnough && ps.p.cache != nil {
+		ps.p.cache.put(ps.fp, ps.plan.Pi, ps.plan)
+	}
+}
+
+// Err returns the stream's sticky planning error, if any.
+func (ps *PlanStream) Err() error { return ps.err }
+
+// Cached reports whether the stream replays a fingerprint-cache hit rather
+// than planning incrementally.
+func (ps *PlanStream) Cached() bool { return ps.cached }
+
+// SlotCount returns the number of slots of the final schedule,
+// OptimalSlots(d, g), known before any fragment is produced.
+func (ps *PlanStream) SlotCount() int {
+	if ps.cs != nil {
+		return ps.cs.SlotCount()
+	}
+	return ps.plan.SlotCount()
+}
+
+// FragmentCount returns how many fragments the stream will emit in total.
+func (ps *PlanStream) FragmentCount() int { return ps.total }
