@@ -3,7 +3,7 @@
 
 DATE := $(shell date +%F)
 
-.PHONY: build test vet race bench bench-smoke alloc-guard serve-smoke
+.PHONY: build test vet race tier1 bench bench-smoke alloc-guard serve-smoke
 
 build:
 	go build ./...
@@ -14,6 +14,9 @@ test:
 vet:
 	go vet ./...
 
+# The tier-1 gate: build, vet, test — what every change must keep green.
+tier1: build vet test
+
 race:
 	go test -race . ./internal/service/... ./cmd/popsserved
 
@@ -21,7 +24,10 @@ race:
 # permutation through pops.ServiceClient, and assert the second call is
 # answered by the fingerprint plan cache (plan flag + /stats hit counter).
 # TestServeSmokeStream additionally POSTs /route/stream over raw TCP and
-# asserts the slot records arrive as >= 2 separate HTTP chunks.
+# asserts the slot records arrive as >= 2 separate HTTP chunks, and
+# TestServeSmokeStreamHRelation round-trips an h-relation workload through
+# /route/stream the same way — >= 2 chunks, and a workload plan cache hit
+# when the identical relation is streamed again.
 serve-smoke:
 	go test -run 'TestServeSmoke|TestServeSmokeStream' -count=1 -v ./cmd/popsserved
 
@@ -40,8 +46,11 @@ bench-smoke:
 # Factorizer/Matcher/Splitter reuse regresses past the alloc budget. The
 # streaming path is covered too: a warmed Stream drain allocates nothing
 # beyond its handle, and RouteStream+Collect stays within Route's budget
-# plus the fixed stream handles.
+# plus the fixed stream handles. TestHRelationPooledAllocBudget guards the
+# pooled h-relation path of Execute: steady state must stay under half the
+# allocations of the per-call RouteHRelation it supersedes (the measured
+# delta is recorded in BENCH_2026-07-30_hrelation.json).
 alloc-guard:
 	go test -run 'TestFactorizerAllocBudget|TestStreamAllocBudget|TestMatcherSteadyStateAllocFree|TestSplitterSteadyStateAllocFree' \
 		-count=1 ./internal/edgecolor ./internal/matching ./internal/graph
-	go test -run 'TestRouteStreamAllocBudget' -count=1 .
+	go test -run 'TestRouteStreamAllocBudget|TestHRelationPooledAllocBudget' -count=1 .

@@ -11,6 +11,7 @@ package pops
 // scan) benchmarks for E12.
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -241,6 +242,84 @@ func BenchmarkTimeToFirstSlot(b *testing.B) {
 	}
 }
 
+// BenchmarkHRelation measures the pooled h-relation planning of the
+// Execute surface against the per-call deprecated RouteHRelation (which
+// rebuilds planner, arenas and demand graph every call), plus the streaming
+// pipeline's time-to-first-slot: execute-stream-first-slot runs
+// ExecuteStream(HRelation) until the first Next returns and abandons the
+// stream, so its ns/op is the latency until the first routed slot is usable
+// — the ISSUE bar is < 25% of execute-pooled at d=16, g=64.
+func BenchmarkHRelation(b *testing.B) {
+	ctx := context.Background()
+	for _, s := range []struct{ d, g, h int }{{8, 8, 4}, {16, 64, 8}} {
+		rng := rand.New(rand.NewSource(29))
+		n := s.d * s.g
+		reqs := make([]Request, 0, n*s.h)
+		for k := 0; k < s.h; k++ {
+			for i, v := range perms.Random(n, rng) {
+				reqs = append(reqs, Request{Src: i, Dst: v})
+			}
+		}
+		newPlanner := func(b *testing.B) *Planner {
+			p, err := NewPlanner(s.d, s.g)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := p.Execute(ctx, HRelation(reqs)); err != nil { // warm the arenas
+				b.Fatal(err)
+			}
+			return p
+		}
+		b.Run(fmt.Sprintf("route-percall/d=%d/g=%d/h=%d", s.d, s.g, s.h), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := RouteHRelation(s.d, s.g, reqs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("execute-pooled/d=%d/g=%d/h=%d", s.d, s.g, s.h), func(b *testing.B) {
+			p := newPlanner(b)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := p.Execute(ctx, HRelation(reqs)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("execute-stream-first-slot/d=%d/g=%d/h=%d", s.d, s.g, s.h), func(b *testing.B) {
+			p := newPlanner(b)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ps, err := p.ExecuteStream(ctx, HRelation(reqs))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, ok := ps.Next(); !ok {
+					b.Fatal("no first fragment")
+				}
+				ps.Close()
+			}
+		})
+		b.Run(fmt.Sprintf("execute-stream-collect/d=%d/g=%d/h=%d", s.d, s.g, s.h), func(b *testing.B) {
+			p := newPlanner(b)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ps, err := p.ExecuteStream(ctx, HRelation(reqs))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := ps.Collect(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkE10Factorize compares the three 1-factorization backends on the
 // square (d = g) planning workload — the Remark 1 ablation.
 func BenchmarkE10Factorize(b *testing.B) {
@@ -366,7 +445,7 @@ func BenchmarkBroadcast(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	sched, err := OneToAll(nw, 0)
+	sched, err := BroadcastSchedule(nw, 0)
 	if err != nil {
 		b.Fatal(err)
 	}

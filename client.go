@@ -71,18 +71,58 @@ func (c *ServiceClient) Do(ctx context.Context, req *ServiceRouteRequest) (*Serv
 // Route plans one permutation on POPS(d, g) with the default (Theorem 2)
 // strategy. A per-permutation planning failure is returned as an error.
 func (c *ServiceClient) Route(ctx context.Context, d, g int, pi []int) (*ServicePlan, error) {
-	resp, err := c.Do(ctx, &ServiceRouteRequest{D: d, G: g, Pi: pi})
+	return c.doOne(ctx, &ServiceRouteRequest{D: d, G: g, Pi: pi})
+}
+
+// Execute plans one workload on POPS(d, g) — the wire form of
+// Planner.Execute. Permutation workloads go through the service's
+// micro-batching queue; h-relation, all-to-all and one-to-all workloads are
+// executed directly on the shard's planner, sharing its pooled arenas and
+// plan cache. A workload planning failure is returned as an error.
+func (c *ServiceClient) Execute(ctx context.Context, d, g int, w Workload) (*ServicePlan, error) {
+	req, err := workloadRouteRequest(d, g, w)
+	if err != nil {
+		return nil, err
+	}
+	return c.doOne(ctx, req)
+}
+
+// doOne posts a single-plan request and unwraps its one result.
+func (c *ServiceClient) doOne(ctx context.Context, req *ServiceRouteRequest) (*ServicePlan, error) {
+	resp, err := c.Do(ctx, req)
 	if err != nil {
 		return nil, err
 	}
 	if len(resp.Plans) != 1 {
-		return nil, fmt.Errorf("pops: service returned %d plans for one permutation", len(resp.Plans))
+		return nil, fmt.Errorf("pops: service returned %d plans for one workload", len(resp.Plans))
 	}
 	plan := &resp.Plans[0]
 	if plan.Error != "" {
 		return nil, fmt.Errorf("pops: service: %s", plan.Error)
 	}
 	return plan, nil
+}
+
+// workloadRouteRequest serializes a Workload into the tagged wire schema.
+func workloadRouteRequest(d, g int, w Workload) (*ServiceRouteRequest, error) {
+	switch w := w.(type) {
+	case nil:
+		return nil, ErrNilWorkload
+	case permutationWorkload:
+		return &ServiceRouteRequest{D: d, G: g, Pi: w.pi}, nil
+	case hrelationWorkload:
+		reqs := make([]wire.Request, len(w.reqs))
+		for i, r := range w.reqs {
+			reqs[i] = wire.Request{Src: r.Src, Dst: r.Dst}
+		}
+		return &ServiceRouteRequest{D: d, G: g, Workload: WorkloadHRelation, Requests: reqs}, nil
+	case allToAllWorkload:
+		return &ServiceRouteRequest{D: d, G: g, Workload: WorkloadAllToAll}, nil
+	case oneToAllWorkload:
+		return &ServiceRouteRequest{D: d, G: g, Workload: WorkloadOneToAll, Speaker: w.speaker}, nil
+	default:
+		return nil, fmt.Errorf("pops: unknown workload type %T", w)
+	}
 }
 
 // RouteBatch plans a batch of permutations on POPS(d, g) with the default
@@ -118,6 +158,19 @@ type ServiceStream struct {
 // arrives before the first slot has even been computed server-side.
 func (c *ServiceClient) RouteStream(ctx context.Context, d, g int, pi []int) (*ServiceStream, error) {
 	return c.DoStream(ctx, &ServiceRouteRequest{D: d, G: g, Pi: pi})
+}
+
+// ExecuteStream opens a slot stream for any workload — the wire form of
+// Planner.ExecuteStream. H-relation (and all-to-all) slots are flushed as
+// each König factor of the request multigraph is peeled and routed, so the
+// first slots arrive while the server is still factorizing. Cancelling ctx
+// hangs up the connection, which cancels the server-side planning context.
+func (c *ServiceClient) ExecuteStream(ctx context.Context, d, g int, w Workload) (*ServiceStream, error) {
+	req, err := workloadRouteRequest(d, g, w)
+	if err != nil {
+		return nil, err
+	}
+	return c.DoStream(ctx, req)
 }
 
 // DoStream is the general streaming form: it posts req to /route/stream and

@@ -1,8 +1,10 @@
-// Command popsroute plans and verifies the routing of a permutation on a
-// POPS(d, g) network and prints the resulting schedule. The routing strategy
-// is pluggable: Theorem 2's universal relay router (default), the greedy and
-// optimal direct baselines, the Gravenstreter–Melhem single-slot router, or
-// "auto", which picks the cheapest applicable strategy per permutation.
+// Command popsroute plans and verifies the routing of a workload on a
+// POPS(d, g) network and prints the resulting schedule. The workload is the
+// unit of planning (pops.Workload, executed by Planner.Execute): a
+// permutation (default, with pluggable routing strategy — Theorem 2's
+// universal relay router, the greedy and optimal direct baselines, the
+// Gravenstreter–Melhem single-slot router, or "auto"), the all-to-all
+// complete exchange, or the one-to-all broadcast.
 //
 // Usage:
 //
@@ -10,10 +12,13 @@
 //	popsroute -d 8 -g 4 -family random -seed 7
 //	popsroute -d 4 -g 4 -family reversal -schedule
 //	popsroute -d 16 -g 4 -family transpose -strategy auto
+//	popsroute -d 4 -g 4 -workload all-to-all
+//	popsroute -d 3 -g 3 -workload one-to-all -speaker 4 -schedule
 //	popsroute -d 3 -g 3 -topology
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -29,10 +34,13 @@ func main() {
 	var (
 		d        = flag.Int("d", 3, "processors per group")
 		g        = flag.Int("g", 3, "number of groups")
+		workload = flag.String("workload", pops.WorkloadPermutation,
+			"workload kind: permutation | all-to-all | one-to-all")
 		permSpec = flag.String("perm", "", "explicit permutation, comma-separated destinations")
 		family   = flag.String("family", "", "named family: random | derangement | reversal | rotation | transpose | identity")
 		strategy = flag.String("strategy", pops.StrategyTheoremTwo,
-			fmt.Sprintf("routing strategy: %s", strings.Join(pops.Strategies(), " | ")))
+			fmt.Sprintf("routing strategy (permutation workloads): %s", strings.Join(pops.Strategies(), " | ")))
+		speaker  = flag.Int("speaker", 0, "broadcasting processor (one-to-all workloads)")
 		seed     = flag.Int64("seed", 1, "seed for random families")
 		topology = flag.Bool("topology", false, "print network structure and exit")
 		schedule = flag.Bool("schedule", false, "print the full slot schedule")
@@ -40,13 +48,13 @@ func main() {
 	)
 	flag.Parse()
 
-	if err := run(*d, *g, *permSpec, *family, *strategy, *seed, *topology, *schedule, *stats); err != nil {
+	if err := run(*d, *g, *workload, *permSpec, *family, *strategy, *speaker, *seed, *topology, *schedule, *stats); err != nil {
 		fmt.Fprintf(os.Stderr, "popsroute: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(d, g int, permSpec, family, strategy string, seed int64, topology, schedule, stats bool) error {
+func run(d, g int, workload, permSpec, family, strategy string, speaker int, seed int64, topology, schedule, stats bool) error {
 	nw, err := pops.NewNetwork(d, g)
 	if err != nil {
 		return err
@@ -54,6 +62,9 @@ func run(d, g int, permSpec, family, strategy string, seed int64, topology, sche
 	if topology {
 		printTopology(nw)
 		return nil
+	}
+	if workload != "" && workload != pops.WorkloadPermutation {
+		return runWorkload(nw, workload, speaker, schedule, stats)
 	}
 
 	pi, err := buildPermutation(nw, permSpec, family, seed)
@@ -100,6 +111,54 @@ func run(d, g int, permSpec, family, strategy string, seed int64, topology, sche
 				p, pi[p], plan.IntermediateGroup(p), plan.Round(p))
 		}
 	}
+	if schedule {
+		if err := plan.Schedule().Format(os.Stdout); err != nil {
+			return err
+		}
+	}
+	if stats {
+		st := popsnet.ComputeStats(plan.Schedule())
+		fmt.Printf("schedule stats: %d slots, %d sends, %d recvs, %d/%d coupler-slots used (utilization %.2f)\n",
+			st.Slots, st.Sends, st.Recvs, st.CouplersUsed, st.Slots*st.MaxCouplers, st.Utilization)
+	}
+	return nil
+}
+
+// runWorkload executes a non-permutation workload through the unified
+// Planner.Execute surface and prints its plan summary.
+func runWorkload(nw pops.Network, workload string, speaker int, schedule, stats bool) error {
+	var w pops.Workload
+	switch workload {
+	case pops.WorkloadAllToAll:
+		w = pops.AllToAll()
+	case pops.WorkloadOneToAll:
+		w = pops.OneToAll(speaker)
+	default:
+		return fmt.Errorf("unknown workload %q (want permutation | all-to-all | one-to-all)", workload)
+	}
+	p, err := pops.NewPlanner(nw.D, nw.G, pops.WithVerify(true))
+	if err != nil {
+		return err
+	}
+	plan, err := p.Execute(context.Background(), w)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%v: n=%d processors, %d couplers\n", nw, nw.N(), nw.Couplers())
+	switch workload {
+	case pops.WorkloadAllToAll:
+		fmt.Printf("workload all-to-all: %d requests, degree h = %d, decomposed into %d factors\n",
+			len(plan.Reqs), plan.H, len(plan.Factors))
+		fmt.Printf("strategy %s: %d slots (= h · OptimalSlots = %d)\n",
+			plan.Strategy, plan.SlotCount(), pops.HRelationSlots(nw.D, nw.G, plan.H))
+	case pops.WorkloadOneToAll:
+		fmt.Printf("workload one-to-all: speaker %d reaches all %d processors\n", plan.Speaker, nw.N())
+		fmt.Printf("strategy %s: %d slot (diameter-1 broadcast)\n", plan.Strategy, plan.SlotCount())
+	}
+	if _, err := plan.Verify(); err != nil {
+		return fmt.Errorf("schedule failed simulation: %w", err)
+	}
+	fmt.Println("schedule verified on the slot-level simulator")
 	if schedule {
 		if err := plan.Schedule().Format(os.Stdout); err != nil {
 			return err

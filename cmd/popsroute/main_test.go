@@ -62,17 +62,34 @@ func TestBuildPermutationFamilies(t *testing.T) {
 
 func TestRunEndToEnd(t *testing.T) {
 	// Figure 3 instance, with and without schedule printing.
-	if err := run(3, 3, "4,8,3,6,0,2,7,1,5", "", pops.StrategyTheoremTwo, 1, false, true, true); err != nil {
+	if err := run(3, 3, "", "4,8,3,6,0,2,7,1,5", "", pops.StrategyTheoremTwo, 0, 1, false, true, true); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(2, 4, "", "reversal", pops.StrategyTheoremTwo, 1, false, false, true); err != nil {
+	if err := run(2, 4, "", "", "reversal", pops.StrategyTheoremTwo, 0, 1, false, false, true); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(3, 3, "", "", pops.StrategyTheoremTwo, 1, true, false, false); err != nil {
+	if err := run(3, 3, "", "", "", pops.StrategyTheoremTwo, 0, 1, true, false, false); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(0, 3, "", "", pops.StrategyTheoremTwo, 1, false, false, false); err == nil {
+	if err := run(0, 3, "", "", "", pops.StrategyTheoremTwo, 0, 1, false, false, false); err == nil {
 		t.Fatal("invalid shape accepted")
+	}
+}
+
+func TestRunWorkloads(t *testing.T) {
+	// The non-permutation workloads of the Execute surface: the complete
+	// exchange and the broadcast, both planned and verified end to end.
+	if err := run(2, 2, "all-to-all", "", "", "", 0, 1, false, false, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(3, 3, "one-to-all", "", "", "", 4, 1, false, true, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(3, 3, "gossip", "", "", "", 0, 1, false, false, false); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+	if err := run(3, 3, "one-to-all", "", "", "", 99, 1, false, false, false); err == nil {
+		t.Fatal("out-of-range speaker accepted")
 	}
 }
 
@@ -80,7 +97,7 @@ func TestRunEveryStrategy(t *testing.T) {
 	// Transpose on POPS(16,4): single-slot fails (not routable), every other
 	// strategy plans and verifies; auto must pick the direct-optimal route.
 	for _, strategy := range pops.Strategies() {
-		err := run(16, 4, "", "transpose", strategy, 1, false, false, false)
+		err := run(16, 4, "", "", "transpose", strategy, 0, 1, false, false, false)
 		if strategy == pops.StrategySingleSlot {
 			if err == nil {
 				t.Fatal("singleslot accepted a non-single-slot-routable permutation")
@@ -91,7 +108,7 @@ func TestRunEveryStrategy(t *testing.T) {
 			t.Fatalf("strategy %s: %v", strategy, err)
 		}
 	}
-	if err := run(2, 2, "", "", "warp-drive", 1, false, false, false); err == nil {
+	if err := run(2, 2, "", "", "", "warp-drive", 0, 1, false, false, false); err == nil {
 		t.Fatal("unknown strategy accepted")
 	}
 }

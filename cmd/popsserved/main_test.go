@@ -219,6 +219,146 @@ func TestServeSmokeStream(t *testing.T) {
 	}
 }
 
+// TestServeSmokeStreamHRelation rounds an h-relation workload through
+// POST /route/stream: raw HTTP/1.1 over TCP so the chunked framing can be
+// counted (the slot records must arrive as >= 2 separate flushes while the
+// server is still peeling later König factors), then the identical workload
+// again through the Go client, asserting the replay is answered by the
+// shard's workload plan cache.
+func TestServeSmokeStreamHRelation(t *testing.T) {
+	addr, cancel, done := startServer(t)
+
+	const d, g, h = 4, 8, 2
+	n := d * g
+	var reqs []wire.Request
+	for k := 0; k < h; k++ {
+		for s := 0; s < n; s++ {
+			reqs = append(reqs, wire.Request{Src: s, Dst: (s + k + 1) % n})
+		}
+	}
+	body, err := json.Marshal(wire.RouteRequest{D: d, G: g, Workload: wire.WorkloadHRelation, Requests: reqs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.DialTimeout("tcp", addr.String(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(30 * time.Second))
+	fmt.Fprintf(conn, "POST /route/stream HTTP/1.1\r\nHost: popsserved\r\nContent-Type: application/json\r\nContent-Length: %d\r\n\r\n%s", len(body), body)
+
+	br := bufio.NewReader(conn)
+	status, err := br.ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(status, "200") {
+		t.Fatalf("status line %q", strings.TrimSpace(status))
+	}
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.TrimSpace(line) == "" {
+			break
+		}
+	}
+
+	// Parse the chunked framing by hand, counting the flushes.
+	var payload []byte
+	chunks := 0
+	for {
+		sizeLine, err := br.ReadString('\n')
+		if err != nil {
+			t.Fatal(err)
+		}
+		size, err := strconv.ParseUint(strings.TrimSpace(sizeLine), 16, 32)
+		if err != nil {
+			t.Fatalf("chunk size line %q: %v", strings.TrimSpace(sizeLine), err)
+		}
+		if size == 0 {
+			break
+		}
+		chunks++
+		buf := make([]byte, size+2) // chunk data + trailing CRLF
+		if _, err := io.ReadFull(br, buf); err != nil {
+			t.Fatal(err)
+		}
+		payload = append(payload, buf[:size]...)
+	}
+	if chunks < 2 {
+		t.Fatalf("h-relation stream arrived in %d chunk(s); want >= 2 (one per flushed record)", chunks)
+	}
+
+	lines := strings.Split(strings.TrimSpace(string(payload)), "\n")
+	var meta wire.StreamRecord
+	if err := json.Unmarshal([]byte(lines[0]), &meta); err != nil || meta.Type != "meta" || meta.Meta == nil {
+		t.Fatalf("first record %q (err %v)", lines[0], err)
+	}
+	wantSlots := h * pops.OptimalSlots(d, g)
+	if meta.Meta.Workload != wire.WorkloadHRelation || meta.Meta.Slots != wantSlots || meta.Meta.Cached {
+		t.Fatalf("meta = %+v, want workload %q with %d uncached slots", *meta.Meta, wire.WorkloadHRelation, wantSlots)
+	}
+	slotRecords := 0
+	for _, line := range lines[1 : len(lines)-1] {
+		var rec wire.StreamRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil || rec.Type != "slot" || rec.Slot == nil {
+			t.Fatalf("slot record %q (err %v)", line, err)
+		}
+		slotRecords++
+	}
+	if slotRecords != meta.Meta.Fragments {
+		t.Fatalf("%d slot records, meta promised %d", slotRecords, meta.Meta.Fragments)
+	}
+	var doneRec wire.StreamRecord
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &doneRec); err != nil || doneRec.Type != "done" {
+		t.Fatalf("last record %q (err %v)", lines[len(lines)-1], err)
+	}
+
+	// Replay the identical workload through the Go client: the stream must
+	// be answered from the shard's workload plan cache.
+	client := pops.NewServiceClient("http://"+addr.String(), nil)
+	popsReqs := make([]pops.Request, len(reqs))
+	for i, r := range reqs {
+		popsReqs[i] = pops.Request{Src: r.Src, Dst: r.Dst}
+	}
+	st, err := client.ExecuteStream(context.Background(), d, g, pops.HRelation(popsReqs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if !st.Meta().Cached {
+		t.Fatal("replayed h-relation stream was not a cache hit")
+	}
+	replayed := 0
+	for {
+		rec, err := st.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec == nil {
+			break
+		}
+		replayed++
+	}
+	if replayed != wantSlots {
+		t.Fatalf("replay delivered %d slots, want %d", replayed, wantSlots)
+	}
+	st.Close()
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("server did not drain within 15s")
+	}
+}
+
 // TestGracefulDrainFinishesStreams opens a slot stream, consumes only its
 // first record, signals shutdown, and then asserts every remaining slot —
 // and the done record — still arrives before the server exits: graceful

@@ -1,6 +1,7 @@
 package pops_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -103,6 +104,55 @@ func ExamplePlanner() {
 	// 2 slots
 	// 2 slots
 	// 2 slots
+}
+
+// ExamplePlanner_Execute plans every workload kind through the unified
+// context-aware Execute surface.
+func ExamplePlanner_Execute() {
+	ctx := context.Background()
+	planner, _ := pops.NewPlanner(2, 2) // n = 4
+	perm, _ := planner.Execute(ctx, pops.Permutation([]int{3, 2, 1, 0}))
+	hrel, _ := planner.Execute(ctx, pops.HRelation([]pops.Request{
+		{Src: 0, Dst: 3}, {Src: 0, Dst: 2}, {Src: 1, Dst: 3},
+	}))
+	exchange, _ := planner.Execute(ctx, pops.AllToAll())
+	broadcast, _ := planner.Execute(ctx, pops.OneToAll(1))
+	fmt.Printf("permutation: %d slots (%s)\n", perm.SlotCount(), perm.Strategy)
+	fmt.Printf("h-relation:  %d slots (h = %d)\n", hrel.SlotCount(), hrel.H)
+	fmt.Printf("all-to-all:  %d slots (h = %d)\n", exchange.SlotCount(), exchange.H)
+	fmt.Printf("one-to-all:  %d slot  (speaker %d)\n", broadcast.SlotCount(), broadcast.Speaker)
+	// Output:
+	// permutation: 2 slots (theorem2)
+	// h-relation:  4 slots (h = 2)
+	// all-to-all:  6 slots (h = 3)
+	// one-to-all:  1 slot  (speaker 1)
+}
+
+// ExamplePlanner_ExecuteStream streams an h-relation: each König factor of
+// the request multigraph is routed as soon as it is peeled, and its slots
+// are emitted while the remaining factorization is still running.
+func ExamplePlanner_ExecuteStream() {
+	planner, _ := pops.NewPlanner(2, 2)
+	reqs := []pops.Request{
+		{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 3}, {Src: 3, Dst: 0},
+		{Src: 0, Dst: 2}, {Src: 1, Dst: 3}, {Src: 2, Dst: 0}, {Src: 3, Dst: 1},
+	}
+	ps, _ := planner.ExecuteStream(context.Background(), pops.HRelation(reqs))
+	for {
+		frag, ok := ps.Next()
+		if !ok {
+			break
+		}
+		fmt.Printf("slot %d from factor %d: %d sends\n", frag.Slot, frag.Color, len(frag.Sends))
+	}
+	plan, _ := ps.Collect() // identical to Execute's plan
+	fmt.Println("total slots:", plan.SlotCount())
+	// Output:
+	// slot 0 from factor 0: 4 sends
+	// slot 1 from factor 0: 4 sends
+	// slot 2 from factor 1: 4 sends
+	// slot 3 from factor 1: 4 sends
+	// total slots: 4
 }
 
 // ExampleIsOneSlotRoutable shows the Gravenstreter–Melhem characterization.

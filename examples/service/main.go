@@ -118,6 +118,39 @@ func main() {
 	fmt.Printf("  ... %d fragments total, done record: %+v\n", shown, *stream.Done())
 	stream.Close()
 
+	// Workloads over the wire: an h-relation streamed slot by slot while the
+	// server is still factorizing its request multigraph, then replayed — the
+	// second stream is answered by the shard's workload plan cache.
+	const hd, hg, hh = 4, 8, 2
+	hn := hd * hg
+	var reqs []pops.Request
+	for k := 0; k < hh; k++ {
+		for s := 0; s < hn; s++ {
+			reqs = append(reqs, pops.Request{Src: s, Dst: (s + k + 1) % hn})
+		}
+	}
+	for attempt := 1; attempt <= 2; attempt++ {
+		hst, err := client.ExecuteStream(ctx, hd, hg, pops.HRelation(reqs))
+		if err != nil {
+			log.Fatal(err)
+		}
+		hmeta := hst.Meta()
+		count := 0
+		for {
+			rec, err := hst.Next()
+			if err != nil {
+				log.Fatal(err)
+			}
+			if rec == nil {
+				break
+			}
+			count++
+		}
+		hst.Close()
+		fmt.Printf("\nh-relation stream %d on POPS(%d,%d): h=%d, %d slots, cached=%v\n",
+			attempt, hd, hg, hh, count, hmeta.Cached)
+	}
+
 	stats, err := client.Stats(ctx)
 	if err != nil {
 		log.Fatal(err)

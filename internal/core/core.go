@@ -86,19 +86,25 @@ func (o Options) Workers() int {
 
 // Canonical names of the routing strategies that can produce a Plan. They
 // appear in Plan.Strategy and in the public Router implementations.
+// StrategyHRelation and StrategyOneToAll name the non-permutation workload
+// planners of the unified Execute surface.
 const (
 	StrategyTheoremTwo    = "theorem2"
 	StrategyGreedy        = "greedy"
 	StrategyDirectOptimal = "direct-optimal"
 	StrategySingleSlot    = "singleslot"
 	StrategyAuto          = "auto"
+	StrategyHRelation     = "hrelation"
+	StrategyOneToAll      = "one-to-all"
 )
 
-// Plan is a verified-constructible routing plan for one permutation. It is
-// the unified result type of every routing strategy: the Theorem 2 relay
-// router fills Colors/Rounds, while direct strategies (greedy, direct
-// optimal, single slot) carry only the schedule. Strategy records which
-// router produced the plan.
+// Plan is a verified-constructible routing plan for one workload. It is the
+// unified result type of every routing strategy and workload kind: the
+// Theorem 2 relay router fills Colors/Rounds, direct strategies (greedy,
+// direct optimal, single slot) carry only the schedule, h-relation plans
+// fill Reqs/H/Factors instead of Pi, and one-to-all plans record the
+// Speaker. Strategy records which planner produced the plan, and Verify
+// replays the schedule under the matching delivery contract.
 type Plan struct {
 	Net      popsnet.Network
 	Pi       []int
@@ -106,7 +112,21 @@ type Plan struct {
 	Colors   []int // per-packet relay color; nil for direct (relay-free) plans
 	Rounds   int   // ⌈d/g⌉ for relayed plans, 0 for direct ones
 
+	// H-relation section (Strategy == StrategyHRelation): the requests, the
+	// relation degree, and Factors[k] — the request indices routed in the
+	// k-th permutation round (dummy padding requests excluded), ascending.
+	Reqs    []Request
+	H       int
+	Factors [][]int
+
+	// Speaker is the broadcasting processor of a one-to-all plan.
+	Speaker int
+
 	sched *popsnet.Schedule
+	// Delivery vectors of an h-relation plan: packet k starts at home[k] and
+	// must end at want[k] (-1 for padding dummies). nil for permutation and
+	// broadcast plans, whose Verify contracts are derived from Pi / Speaker.
+	home, want []int
 }
 
 // FromSchedule wraps an already-built schedule as a Plan, recording the
@@ -229,10 +249,29 @@ func (p *Plan) Schedule() *popsnet.Schedule { return p.sched }
 // SlotCount returns the number of slots the plan uses.
 func (p *Plan) SlotCount() int { return len(p.sched.Slots) }
 
-// Verify replays the schedule on the network simulator and checks that every
-// packet reaches its destination. It returns the execution trace.
+// Verify replays the schedule on the network simulator and checks that the
+// plan's workload was delivered: every packet of a permutation plan at its
+// destination π(p), every real request of an h-relation plan at its Dst, and
+// the speaker's packet of a one-to-all plan at every processor. It returns
+// the execution trace.
 func (p *Plan) Verify() (*popsnet.Trace, error) {
-	return popsnet.VerifyPermutationRouted(p.sched, p.Pi)
+	switch {
+	case p.Strategy == StrategyHRelation:
+		return popsnet.VerifyDelivery(p.sched, p.home, p.want)
+	case p.Strategy == StrategyOneToAll:
+		st, tr, err := popsnet.Run(p.sched)
+		if err != nil {
+			return nil, err
+		}
+		for proc := 0; proc < p.Net.N(); proc++ {
+			if !st.Holds(proc, p.Speaker) {
+				return tr, fmt.Errorf("core: processor %d did not receive the broadcast packet of speaker %d", proc, p.Speaker)
+			}
+		}
+		return tr, nil
+	default:
+		return popsnet.VerifyPermutationRouted(p.sched, p.Pi)
+	}
 }
 
 // IntermediateGroup returns the relay group of packet p in the plan, or -1

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -78,6 +79,21 @@ type Planner struct {
 	// the sorted-class buffer, reused across streams.
 	remaining []int
 	classBuf  []int
+
+	// H-relation scratch (PlanHRelation / StartHRelation), created lazily on
+	// the first h-relation workload. hrelFact is a second coloring arena,
+	// separate from fact: the request-graph factorization streams from it
+	// while each peeled factor is routed as a permutation on fact, so the
+	// two factorizations never supersede each other.
+	hrelDemand *graph.Bipartite      // n×n request multigraph, Reset per call
+	hrelFact   *edgecolor.Factorizer // request-graph 1-factorization arena
+	hrelSrc    []int                 // per-processor send counts (padding)
+	hrelDst    []int                 // per-processor receive counts (padding)
+	hrelAll    []Request             // padded request list, reused
+	hrelColors []int                 // per-request factor index, reused
+	hrelPi     []int                 // factor permutation scratch
+	hrelReqAt  []int                 // source processor -> request id scratch
+	hrelIDs    []int                 // sorted copy of the current factor
 }
 
 // NewPlanner validates the POPS(d, g) shape and returns a Planner for it.
@@ -123,6 +139,17 @@ func (pl *Planner) Network() popsnet.Network { return pl.nw }
 // into it) and stays valid across subsequent Plan calls even if the caller
 // reuses the pi slice.
 func (pl *Planner) Plan(pi []int) (*Plan, error) {
+	return pl.PlanCtx(context.Background(), pi)
+}
+
+// PlanCtx is Plan with a context: an already-cancelled ctx is reported as
+// ctx.Err() before any planning work, and cancellation is re-checked after
+// the coloring phase. The batch factorization itself is not interruptible —
+// use StartPlanCtx for factor-granular cancellation.
+func (pl *Planner) PlanCtx(ctx context.Context, pi []int) (*Plan, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	nw := pl.nw
 	if len(pi) != nw.N() {
 		return nil, fmt.Errorf("core: permutation has length %d, want n = %d", len(pi), nw.N())
@@ -149,6 +176,9 @@ func (pl *Planner) Plan(pi []int) (*Plan, error) {
 		colors := make([]int, nw.N())
 		if err := pl.fact.BalancedInto(colors, pl.demand, pl.colorCount, pl.opts.Algorithm); err != nil {
 			return nil, fmt.Errorf("core: coloring demand graph: %w", err)
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
 		}
 		var err error
 		plan, err = pl.buildPlan(pi, colors)

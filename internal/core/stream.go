@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"slices"
 
@@ -46,6 +47,7 @@ type StreamedSlot struct {
 // other call on the same Planner supersedes the stream mid-flight.
 type PlanStream struct {
 	pl     *Planner
+	ctx    context.Context
 	pi     []int
 	colors []int
 	sched  *popsnet.Schedule
@@ -70,6 +72,17 @@ type PlanStream struct {
 // color class has been peeled — long before the full factorization that a
 // batch Plan call must wait for.
 func (pl *Planner) StartPlan(pi []int) (*PlanStream, error) {
+	return pl.StartPlanCtx(context.Background(), pi)
+}
+
+// StartPlanCtx is StartPlan with a context: cancellation is checked between
+// factors (before each color class is peeled), so a cancelled stream stops
+// factor production at its next Next call with ctx.Err() as the sticky
+// error. An already-cancelled ctx is reported here, before any setup.
+func (pl *Planner) StartPlanCtx(ctx context.Context, pi []int) (*PlanStream, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	nw := pl.nw
 	if len(pi) != nw.N() {
 		return nil, fmt.Errorf("core: permutation has length %d, want n = %d", len(pi), nw.N())
@@ -77,7 +90,7 @@ func (pl *Planner) StartPlan(pi []int) (*PlanStream, error) {
 	if err := perms.ValidateInto(pi, pl.seen); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	ps := &PlanStream{pl: pl, pi: pl.opts.snapshotPerm(pi)}
+	ps := &PlanStream{pl: pl, ctx: ctx, pi: pl.opts.snapshotPerm(pi)}
 	if nw.D == 1 {
 		sched, err := directSchedule(nw, ps.pi)
 		if err != nil {
@@ -121,7 +134,7 @@ func (pl *Planner) StartPlan(pi []int) (*PlanStream, error) {
 		}
 	}
 
-	ps.stream = pl.fact.StartBalanced(pl.demand, colorCount, pl.opts.Algorithm)
+	ps.stream = pl.fact.StartBalancedCtx(ctx, pl.demand, colorCount, pl.opts.Algorithm)
 	if err := ps.stream.Err(); err != nil {
 		return nil, fmt.Errorf("core: coloring demand graph: %w", err)
 	}
@@ -135,6 +148,12 @@ func (pl *Planner) StartPlan(pi []int) (*PlanStream, error) {
 func (ps *PlanStream) Next() (StreamedSlot, bool) {
 	if ps.err != nil || ps.done {
 		return StreamedSlot{}, false
+	}
+	if ps.ctx != nil {
+		if err := ps.ctx.Err(); err != nil {
+			ps.err = err
+			return StreamedSlot{}, false
+		}
 	}
 	if ps.hasPending {
 		ps.hasPending = false

@@ -1,6 +1,7 @@
 package edgecolor
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -28,6 +29,7 @@ type Stream struct {
 	f    *Factorizer
 	gen  uint64
 	algo Algorithm
+	ctx  context.Context // cancellation checked between factors; nil = never
 
 	b     *graph.Bipartite // caller's graph; colorBuf and Factor are indexed by its edge IDs
 	inner *graph.Bipartite // graph actually factorized (the padded graph, or b itself)
@@ -56,8 +58,15 @@ type Stream struct {
 // graph, unknown algorithm) surface on the first Next. The returned stream
 // borrows the Factorizer's arena — one stream per arena at a time.
 func (f *Factorizer) Start(b *graph.Bipartite, algo Algorithm) *Stream {
+	return f.StartCtx(context.Background(), b, algo)
+}
+
+// StartCtx is Start with a context: ctx is checked between factors, so
+// cancelling it stops factor production at the next Next call, which then
+// returns ctx.Err() as the stream's sticky error.
+func (f *Factorizer) StartCtx(ctx context.Context, b *graph.Bipartite, algo Algorithm) *Stream {
 	f.streamGen++
-	st := &Stream{f: f, gen: f.streamGen, algo: algo, b: b, inner: b}
+	st := &Stream{f: f, gen: f.streamGen, algo: algo, ctx: ctx, b: b, inner: b}
 	if b.NLeft() != b.NRight() {
 		st.err = fmt.Errorf("edgecolor: sides differ (%d vs %d)", b.NLeft(), b.NRight())
 		return st
@@ -79,8 +88,14 @@ func (f *Factorizer) Start(b *graph.Bipartite, algo Algorithm) *Stream {
 // exhaustion writes exactly the colors BalancedInto would have written. The
 // per-class size check runs as each factor lands instead of at the end.
 func (f *Factorizer) StartBalanced(b *graph.Bipartite, colorCount int, algo Algorithm) *Stream {
+	return f.StartBalancedCtx(context.Background(), b, colorCount, algo)
+}
+
+// StartBalancedCtx is StartBalanced with a context, checked between factors
+// like StartCtx.
+func (f *Factorizer) StartBalancedCtx(ctx context.Context, b *graph.Bipartite, colorCount int, algo Algorithm) *Stream {
 	f.streamGen++
-	st := &Stream{f: f, gen: f.streamGen, algo: algo, b: b, inner: b}
+	st := &Stream{f: f, gen: f.streamGen, algo: algo, ctx: ctx, b: b, inner: b}
 	classSize, padded, err := f.balancedSetup(b, colorCount, b.NumEdges())
 	if err != nil {
 		st.err = err
@@ -133,6 +148,12 @@ func (st *Stream) Next(colorBuf []int) (factorID int, ok bool, err error) {
 	if st.gen != st.f.streamGen {
 		st.err = ErrStreamSuperseded
 		return 0, false, st.err
+	}
+	if st.ctx != nil {
+		if err := st.ctx.Err(); err != nil {
+			st.err = err
+			return 0, false, st.err
+		}
 	}
 	if len(colorBuf) != st.b.NumEdges() {
 		st.err = fmt.Errorf("edgecolor: %d color slots for %d edges", len(colorBuf), st.b.NumEdges())

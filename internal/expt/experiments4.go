@@ -1,6 +1,7 @@
 package expt
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -36,7 +37,7 @@ func E15(seed int64) (*Table, error) {
 				reqs = append(reqs, hrelation.Request{Src: i, Dst: v})
 			}
 		}
-		p, err := hrelation.Route(s.d, s.g, reqs, core.Options{})
+		p, err := hrelation.Route(context.Background(), s.d, s.g, reqs, core.Options{})
 		if err != nil {
 			return nil, err
 		}

@@ -14,47 +14,32 @@
 // h-relation of derangements is ⌈h·d/g⌉ slots (h·n packets, g² per slot),
 // so the schedule is within a factor 2 of optimal for d ≥ g, matching the
 // paper's guarantee for h = 1.
+//
+// The planning itself lives in internal/core (Planner.PlanHRelation /
+// StartHRelation), where it shares the per-worker coloring arenas of the
+// permutation planner; this package keeps the historical Plan shape and the
+// one-shot Route/AllToAll entry points as wrappers over it.
 package hrelation
 
 import (
-	"fmt"
+	"context"
 
 	"pops/internal/core"
-	"pops/internal/edgecolor"
-	"pops/internal/graph"
 	"pops/internal/popsnet"
 )
 
 // Request is one packet demand: move one packet from Src to Dst.
-type Request struct {
-	Src, Dst int
-}
+type Request = core.Request
 
 // Degree returns h: the maximum number of times any processor occurs as a
 // source or as a destination in reqs.
 func Degree(n int, reqs []Request) (int, error) {
-	srcCount := make([]int, n)
-	dstCount := make([]int, n)
-	for i, r := range reqs {
-		if r.Src < 0 || r.Src >= n || r.Dst < 0 || r.Dst >= n {
-			return 0, fmt.Errorf("hrelation: request %d (%d→%d) out of range [0,%d)", i, r.Src, r.Dst, n)
-		}
-		srcCount[r.Src]++
-		dstCount[r.Dst]++
-	}
-	h := 0
-	for p := 0; p < n; p++ {
-		if srcCount[p] > h {
-			h = srcCount[p]
-		}
-		if dstCount[p] > h {
-			h = dstCount[p]
-		}
-	}
-	return h, nil
+	return core.Degree(n, reqs)
 }
 
-// Plan is a routing plan for an h-relation.
+// Plan is a routing plan for an h-relation: the historical result shape of
+// Route, now a view over the unified core.Plan that Planner.PlanHRelation
+// produces.
 type Plan struct {
 	Net  popsnet.Network
 	Reqs []Request
@@ -63,169 +48,49 @@ type Plan struct {
 	// round (dummy padding requests excluded).
 	Factors [][]int
 
-	sched *popsnet.Schedule
-	home  []int // packet k (= request k, then dummies) -> initial processor
-	want  []int // packet k -> required final processor (-1 for dummies)
+	core *core.Plan
 }
 
+// FromCore wraps a unified h-relation core.Plan in the historical shape.
+func FromCore(p *core.Plan) *Plan {
+	return &Plan{Net: p.Net, Reqs: p.Reqs, H: p.H, Factors: p.Factors, core: p}
+}
+
+// Core returns the underlying unified plan.
+func (p *Plan) Core() *core.Plan { return p.core }
+
 // Schedule returns the complete slot schedule (all factors concatenated).
-func (p *Plan) Schedule() *popsnet.Schedule { return p.sched }
+func (p *Plan) Schedule() *popsnet.Schedule { return p.core.Schedule() }
 
 // SlotCount returns the total number of slots.
-func (p *Plan) SlotCount() int { return len(p.sched.Slots) }
+func (p *Plan) SlotCount() int { return p.core.SlotCount() }
 
 // Verify replays the schedule on the simulator and checks every real
 // request was delivered.
-func (p *Plan) Verify() (*popsnet.Trace, error) {
-	return popsnet.VerifyDelivery(p.sched, p.home, p.want)
-}
+func (p *Plan) Verify() (*popsnet.Trace, error) { return p.core.Verify() }
 
 // Route plans an h-relation on POPS(d, g): decompose into h permutations via
 // a König 1-factorization of the padded request multigraph, then route each
 // factor with the Theorem 2 planner. The schedule uses exactly
-// h · core.OptimalSlots(d, g) slots (0 for an empty relation).
-func Route(d, g int, reqs []Request, opts core.Options) (*Plan, error) {
+// h · core.OptimalSlots(d, g) slots (0 for an empty relation). ctx cancels
+// planning between factors.
+func Route(ctx context.Context, d, g int, reqs []Request, opts core.Options) (*Plan, error) {
 	nw, err := popsnet.NewNetwork(d, g)
 	if err != nil {
 		return nil, err
 	}
-	n := nw.N()
-	h, err := Degree(n, reqs)
+	pl := core.NewPlannerFor(nw, opts)
+	cp, err := pl.PlanHRelation(ctx, reqs)
 	if err != nil {
 		return nil, err
 	}
-	plan := &Plan{Net: nw, Reqs: reqs, H: h, sched: &popsnet.Schedule{Net: nw}}
-	if h == 0 {
-		return plan, nil
-	}
-
-	// Pad with dummy requests so every processor has exactly h sends and h
-	// receives: repeatedly match source deficits to destination deficits.
-	srcCount := make([]int, n)
-	dstCount := make([]int, n)
-	for _, r := range reqs {
-		srcCount[r.Src]++
-		dstCount[r.Dst]++
-	}
-	all := append([]Request(nil), reqs...)
-	si, di := 0, 0
-	for {
-		for si < n && srcCount[si] == h {
-			si++
-		}
-		for di < n && dstCount[di] == h {
-			di++
-		}
-		if si == n || di == n {
-			break
-		}
-		all = append(all, Request{Src: si, Dst: di})
-		srcCount[si]++
-		dstCount[di]++
-	}
-	if si != n || di != n {
-		// Total send deficit always equals total receive deficit (both are
-		// h·n − len(all-real-requests) after padding), so this is
-		// unreachable unless the counting above is broken.
-		return nil, fmt.Errorf("hrelation: internal padding imbalance (si=%d, di=%d)", si, di)
-	}
-
-	// Processor-level demand multigraph: h-regular by construction. Factor k
-	// lists the request indices of color class k, in ascending order.
-	demand := graph.New(n, n)
-	for _, r := range all {
-		demand.AddEdge(r.Src, r.Dst)
-	}
-	factors, err := edgecolor.Factorize(demand, opts.Algorithm)
-	if err != nil {
-		return nil, fmt.Errorf("hrelation: factorizing request graph: %w", err)
-	}
-
-	// Packet identities: request index for real packets; padded dummies get
-	// ids beyond len(reqs). Every packet starts at its request's source.
-	plan.home = make([]int, len(all))
-	plan.want = make([]int, len(all))
-	for k, r := range all {
-		plan.home[k] = r.Src
-		if k < len(reqs) {
-			plan.want[k] = r.Dst
-		} else {
-			plan.want[k] = -1 // dummy: don't care
-		}
-	}
-
-	// Route each factor as a full permutation, relabeling the core
-	// schedule's packet ids (which are source processors) to request ids.
-	// Factors are independent, so they run on a bounded worker pool sized by
-	// opts.Parallelism; results are assembled in factor order regardless.
-	type routed struct {
-		real  []int
-		slots []popsnet.Slot
-	}
-	results := make([]routed, len(factors))
-	errs := make([]error, len(factors))
-	routeFactor := func(pl *core.Planner, k int) {
-		factor := factors[k]
-		pi := make([]int, n)
-		reqAt := make([]int, n)
-		for _, edgeID := range factor {
-			r := all[edgeID]
-			pi[r.Src] = r.Dst
-			reqAt[r.Src] = edgeID
-		}
-		sub, err := pl.Plan(pi)
-		if err != nil {
-			errs[k] = fmt.Errorf("hrelation: routing factor %d: %w", k, err)
-			return
-		}
-		real := make([]int, 0, len(factor))
-		for _, edgeID := range factor {
-			if edgeID < len(reqs) {
-				real = append(real, edgeID)
-			}
-		}
-		slots := make([]popsnet.Slot, 0, sub.SlotCount())
-		for _, slot := range sub.Schedule().Slots {
-			relabeled := popsnet.Slot{Recvs: slot.Recvs, Sends: make([]popsnet.Send, 0, len(slot.Sends))}
-			for _, snd := range slot.Sends {
-				// In the core schedule, packet ids equal source processors.
-				snd.Packet = reqAt[snd.Packet]
-				relabeled.Sends = append(relabeled.Sends, snd)
-			}
-			slots = append(slots, relabeled)
-		}
-		results[k] = routed{real: real, slots: slots}
-	}
-
-	// Per-factor verification is redundant inside an h-relation (the final
-	// plan is verified as a whole below), so workers plan without it.
-	subOpts := opts
-	subOpts.Verify = false
-	core.ForEach(opts.Workers(), len(factors),
-		func() *core.Planner { return core.NewPlannerFor(nw, subOpts) },
-		func(*core.Planner) {},
-		routeFactor)
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	for k := range results {
-		plan.Factors = append(plan.Factors, results[k].real)
-		plan.sched.Slots = append(plan.sched.Slots, results[k].slots...)
-	}
-	if opts.Verify {
-		if _, err := plan.Verify(); err != nil {
-			return nil, fmt.Errorf("hrelation: schedule failed verification: %w", err)
-		}
-	}
-	return plan, nil
+	return FromCore(cp), nil
 }
 
 // PredictedSlots returns the slot cost of Route for an h-relation:
 // h · OptimalSlots(d, g).
 func PredictedSlots(d, g, h int) int {
-	return h * core.OptimalSlots(d, g)
+	return core.PredictedHRelationSlots(d, g, h)
 }
 
 // AllToAll builds the complete-exchange relation — every processor sends one
@@ -235,17 +100,10 @@ func PredictedSlots(d, g, h int) int {
 // ⌈(n−1)·d/g⌉, so the schedule is within a factor 2 for d ≥ g. The request
 // order is deterministic: request index k·n + s (k = 0..n−2) moves the
 // packet from processor s to processor (s+k+1) mod n.
-func AllToAll(d, g int, opts core.Options) (*Plan, error) {
+func AllToAll(ctx context.Context, d, g int, opts core.Options) (*Plan, error) {
 	nw, err := popsnet.NewNetwork(d, g)
 	if err != nil {
 		return nil, err
 	}
-	n := nw.N()
-	reqs := make([]Request, 0, n*(n-1))
-	for k := 1; k < n; k++ {
-		for s := 0; s < n; s++ {
-			reqs = append(reqs, Request{Src: s, Dst: (s + k) % n})
-		}
-	}
-	return Route(d, g, reqs, opts)
+	return Route(ctx, d, g, core.AllToAllRequests(nw.N()), opts)
 }

@@ -1,6 +1,7 @@
 package hrelation
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -10,7 +11,7 @@ import (
 )
 
 func TestDegree(t *testing.T) {
-	reqs := []Request{{0, 1}, {0, 2}, {1, 2}, {3, 0}}
+	reqs := []Request{{Src: 0, Dst: 1}, {Src: 0, Dst: 2}, {Src: 1, Dst: 2}, {Src: 3, Dst: 0}}
 	h, err := Degree(4, reqs)
 	if err != nil {
 		t.Fatal(err)
@@ -18,10 +19,10 @@ func TestDegree(t *testing.T) {
 	if h != 2 { // proc 0 sends twice, proc 2 receives twice
 		t.Fatalf("h = %d, want 2", h)
 	}
-	if _, err := Degree(4, []Request{{0, 9}}); err == nil {
+	if _, err := Degree(4, []Request{{Src: 0, Dst: 9}}); err == nil {
 		t.Fatal("out-of-range request accepted")
 	}
-	if _, err := Degree(4, []Request{{-1, 0}}); err == nil {
+	if _, err := Degree(4, []Request{{Src: -1, Dst: 0}}); err == nil {
 		t.Fatal("negative source accepted")
 	}
 	h, err = Degree(4, nil)
@@ -31,7 +32,7 @@ func TestDegree(t *testing.T) {
 }
 
 func TestRouteEmptyRelation(t *testing.T) {
-	p, err := Route(2, 2, nil, core.Options{})
+	p, err := Route(context.Background(), 2, 2, nil, core.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,7 +51,7 @@ func TestRoutePermutationIsOneFactor(t *testing.T) {
 	for i := range reqs {
 		reqs[i] = Request{Src: i, Dst: pi[i]}
 	}
-	p, err := Route(4, 2, reqs, core.Options{})
+	p, err := Route(context.Background(), 4, 2, reqs, core.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +84,7 @@ func TestRouteSaturatedRelations(t *testing.T) {
 		{2, 2, 2}, {4, 4, 3}, {8, 2, 2}, {3, 5, 4}, {1, 6, 3},
 	} {
 		reqs := randomHRelation(tc.d*tc.g, tc.h, rng)
-		p, err := Route(tc.d, tc.g, reqs, core.Options{})
+		p, err := Route(context.Background(), tc.d, tc.g, reqs, core.Options{})
 		if err != nil {
 			t.Fatalf("d=%d g=%d h=%d: %v", tc.d, tc.g, tc.h, err)
 		}
@@ -101,8 +102,8 @@ func TestRouteSaturatedRelations(t *testing.T) {
 
 func TestRoutePartialRelationWithPadding(t *testing.T) {
 	// Unbalanced: proc 0 sends 3 packets, all to proc 5; others idle.
-	reqs := []Request{{0, 5}, {0, 5}, {0, 5}}
-	p, err := Route(3, 2, reqs, core.Options{})
+	reqs := []Request{{Src: 0, Dst: 5}, {Src: 0, Dst: 5}, {Src: 0, Dst: 5}}
+	p, err := Route(context.Background(), 3, 2, reqs, core.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +132,7 @@ func TestRouteBroadcastLikeRelation(t *testing.T) {
 	for p := 0; p < n; p++ {
 		reqs = append(reqs, Request{Src: 0, Dst: p})
 	}
-	p, err := Route(d, g, reqs, core.Options{})
+	p, err := Route(context.Background(), d, g, reqs, core.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,7 +151,7 @@ func TestRouteProperty(t *testing.T) {
 		h := int(hSeed)%3 + 1
 		rng := rand.New(rand.NewSource(seed))
 		reqs := randomHRelation(d*g, h, rng)
-		p, err := Route(d, g, reqs, core.Options{})
+		p, err := Route(context.Background(), d, g, reqs, core.Options{})
 		if err != nil {
 			return false
 		}
@@ -177,7 +178,7 @@ func TestRoutePropertySparse(t *testing.T) {
 		for i := range reqs {
 			reqs[i] = Request{Src: rng.Intn(n), Dst: rng.Intn(n)}
 		}
-		p, err := Route(d, g, reqs, core.Options{})
+		p, err := Route(context.Background(), d, g, reqs, core.Options{})
 		if err != nil {
 			return false
 		}
@@ -190,17 +191,17 @@ func TestRoutePropertySparse(t *testing.T) {
 }
 
 func TestRouteInvalidShape(t *testing.T) {
-	if _, err := Route(0, 2, nil, core.Options{}); err == nil {
+	if _, err := Route(context.Background(), 0, 2, nil, core.Options{}); err == nil {
 		t.Fatal("invalid shape accepted")
 	}
-	if _, err := Route(2, 2, []Request{{0, 99}}, core.Options{}); err == nil {
+	if _, err := Route(context.Background(), 2, 2, []Request{{Src: 0, Dst: 99}}, core.Options{}); err == nil {
 		t.Fatal("bad request accepted")
 	}
 }
 
 func TestAllToAll(t *testing.T) {
 	for _, tc := range []struct{ d, g int }{{2, 2}, {2, 3}, {3, 2}, {1, 4}} {
-		p, err := AllToAll(tc.d, tc.g, core.Options{})
+		p, err := AllToAll(context.Background(), tc.d, tc.g, core.Options{})
 		if err != nil {
 			t.Fatalf("d=%d g=%d: %v", tc.d, tc.g, err)
 		}
@@ -222,7 +223,7 @@ func TestAllToAll(t *testing.T) {
 }
 
 func TestAllToAllInvalidShape(t *testing.T) {
-	if _, err := AllToAll(0, 2, core.Options{}); err == nil {
+	if _, err := AllToAll(context.Background(), 0, 2, core.Options{}); err == nil {
 		t.Fatal("invalid shape accepted")
 	}
 }

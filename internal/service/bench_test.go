@@ -176,13 +176,13 @@ func BenchmarkServiceInProcess(b *testing.B) {
 	pi := pops.VectorReversal(d * g)
 	svc := New(Config{BatchDelay: 50 * time.Microsecond, CacheSize: -1})
 	defer svc.Close()
-	if _, err := svc.Route(d, g, pi, ""); err != nil {
+	if _, err := svc.Route(context.Background(), d, g, pi, ""); err != nil {
 		b.Fatal(err)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := svc.Route(d, g, pi, "")
+		res, err := svc.Route(context.Background(), d, g, pi, "")
 		if err != nil || res.Err != nil {
 			b.Fatal(err, res.Err)
 		}

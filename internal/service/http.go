@@ -54,6 +54,39 @@ func requestStatus(err error) int {
 	return http.StatusBadRequest
 }
 
+// workloadFromRequest resolves a tagged route request to its pops.Workload.
+// It returns (nil, "") for the permutation kinds, which the handlers serve
+// through the micro-batching queue instead, and an error for malformed
+// combinations (wrong payload for the kind, a strategy on a non-permutation
+// workload).
+func workloadFromRequest(req *wire.RouteRequest) (pops.Workload, error) {
+	switch req.Workload {
+	case "", wire.WorkloadPermutation:
+		return nil, nil
+	case wire.WorkloadHRelation:
+		if len(req.Pi) > 0 || len(req.Pis) > 0 {
+			return nil, fmt.Errorf("service: hrelation workload takes requests, not pi/pis")
+		}
+		reqs := make([]pops.Request, len(req.Requests))
+		for i, r := range req.Requests {
+			reqs[i] = pops.Request{Src: r.Src, Dst: r.Dst}
+		}
+		return pops.HRelation(reqs), nil
+	case wire.WorkloadAllToAll:
+		if len(req.Pi) > 0 || len(req.Pis) > 0 || len(req.Requests) > 0 {
+			return nil, fmt.Errorf("service: all-to-all workload takes no payload")
+		}
+		return pops.AllToAll(), nil
+	case wire.WorkloadOneToAll:
+		if len(req.Pi) > 0 || len(req.Pis) > 0 || len(req.Requests) > 0 {
+			return nil, fmt.Errorf("service: one-to-all workload takes a speaker, not pi/requests")
+		}
+		return pops.OneToAll(req.Speaker), nil
+	default:
+		return nil, fmt.Errorf("service: unknown workload %q", req.Workload)
+	}
+}
+
 func (s *Service) handleRoute(w http.ResponseWriter, r *http.Request) {
 	var req wire.RouteRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
@@ -61,23 +94,43 @@ func (s *Service) handleRoute(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "service: decoding request: "+err.Error(), http.StatusBadRequest)
 		return
 	}
+	wl, err := workloadFromRequest(&req)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	ctx := r.Context()
+	resp := wire.RouteResponse{D: req.D, G: req.G}
+	if wl != nil {
+		if req.Strategy != "" && req.Strategy != pops.StrategyTheoremTwo {
+			http.Error(w, "service: strategy selection applies to permutation workloads only", http.StatusBadRequest)
+			return
+		}
+		res, err := s.Execute(ctx, req.D, req.G, wl)
+		if err != nil {
+			http.Error(w, err.Error(), requestStatus(err))
+			return
+		}
+		resp.Plans = []wire.PlanResult{workloadResult(wl, res, req.IncludeSchedule)}
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+
 	single := len(req.Pi) > 0
 	batch := len(req.Pis) > 0
 	if single == batch {
 		http.Error(w, "service: exactly one of pi and pis must be set", http.StatusBadRequest)
 		return
 	}
-
-	resp := wire.RouteResponse{D: req.D, G: req.G}
 	if single {
-		res, err := s.Route(req.D, req.G, req.Pi, req.Strategy)
+		res, err := s.Route(ctx, req.D, req.G, req.Pi, req.Strategy)
 		if err != nil {
 			http.Error(w, err.Error(), requestStatus(err))
 			return
 		}
 		resp.Plans = []wire.PlanResult{planResult(req.Pi, res, req.IncludeSchedule)}
 	} else {
-		results, err := s.RouteMany(req.D, req.G, req.Pis, req.Strategy)
+		results, err := s.RouteMany(ctx, req.D, req.G, req.Pis, req.Strategy)
 		if err != nil {
 			http.Error(w, err.Error(), requestStatus(err))
 			return
@@ -103,11 +156,30 @@ func (s *Service) handleRouteStream(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "service: decoding request: "+err.Error(), http.StatusBadRequest)
 		return
 	}
-	if len(req.Pis) > 0 || len(req.Pi) == 0 {
-		http.Error(w, "service: /route/stream takes exactly one permutation (pi)", http.StatusBadRequest)
+	wl, err := workloadFromRequest(&req)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	st, err := s.RouteStream(req.D, req.G, req.Pi, req.Strategy)
+	// The request context is threaded all the way into the planner stream:
+	// a hung-up client cancels it, and the stream's next factor check fails
+	// with ctx.Err() — factor production stops for a plan nobody is
+	// reading, and the worker planner returns to the pool on Close.
+	ctx := r.Context()
+	var st *Stream
+	if wl != nil {
+		if req.Strategy != "" && req.Strategy != pops.StrategyTheoremTwo {
+			http.Error(w, "service: strategy selection applies to permutation workloads only", http.StatusBadRequest)
+			return
+		}
+		st, err = s.ExecuteStream(ctx, req.D, req.G, wl)
+	} else {
+		if len(req.Pis) > 0 || len(req.Pi) == 0 {
+			http.Error(w, "service: /route/stream takes exactly one permutation (pi)", http.StatusBadRequest)
+			return
+		}
+		st, err = s.RouteStream(ctx, req.D, req.G, req.Pi, req.Strategy)
+	}
 	if err != nil {
 		http.Error(w, err.Error(), requestStatus(err))
 		return
@@ -117,7 +189,6 @@ func (s *Service) handleRouteStream(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
-	ctx := r.Context()
 	write := func(rec wire.StreamRecord) bool {
 		if err := enc.Encode(rec); err != nil {
 			return false // client went away; Close releases the worker
@@ -137,12 +208,6 @@ func (s *Service) handleRouteStream(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	for {
-		// A hung-up client cancels the request context; stop peeling
-		// factors for a plan nobody is reading rather than discovering the
-		// dead connection through a buffered write much later.
-		if ctx.Err() != nil {
-			return
-		}
 		slot, ok := st.Next()
 		if !ok {
 			break
@@ -152,13 +217,16 @@ func (s *Service) handleRouteStream(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if err := st.Err(); err != nil {
+		if ctx.Err() != nil {
+			return // cancelled by the client: nobody is reading error records
+		}
 		write(wire.StreamRecord{Type: "error", Error: err.Error()})
 		return
 	}
 	write(wire.StreamRecord{Type: "done", Done: &wire.StreamDone{Slots: meta.Slots, Fragments: meta.Fragments}})
 }
 
-// planResult converts one planning outcome to its wire form.
+// planResult converts one permutation planning outcome to its wire form.
 func planResult(pi []int, res Result, includeSchedule bool) wire.PlanResult {
 	if res.Err != nil {
 		return wire.PlanResult{Error: res.Err.Error()}
@@ -168,6 +236,26 @@ func planResult(pi []int, res Result, includeSchedule bool) wire.PlanResult {
 		Slots:       res.Plan.SlotCount(),
 		Rounds:      res.Plan.Rounds,
 		Fingerprint: fmt.Sprintf("%016x", pops.PermutationFingerprint(pi)),
+		Cached:      res.Cached,
+	}
+	if includeSchedule {
+		pr.Schedule = res.Plan.Schedule()
+	}
+	return pr
+}
+
+// workloadResult converts one non-permutation workload outcome to its wire
+// form, tagging the workload kind and the relation degree.
+func workloadResult(w pops.Workload, res Result, includeSchedule bool) wire.PlanResult {
+	if res.Err != nil {
+		return wire.PlanResult{Error: res.Err.Error()}
+	}
+	pr := wire.PlanResult{
+		Strategy:    res.Plan.Strategy,
+		Workload:    w.Kind(),
+		Slots:       res.Plan.SlotCount(),
+		H:           res.Plan.H,
+		Fingerprint: fmt.Sprintf("%016x", pops.WorkloadFingerprint(w)),
 		Cached:      res.Cached,
 	}
 	if includeSchedule {

@@ -31,6 +31,7 @@ package service
 
 import (
 	"container/list"
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -170,10 +171,12 @@ func (s *Service) retire(sh *shard) {
 
 // Route plans one permutation on POPS(d, g) through the shard's admission
 // queue (strategy "" or "theorem2") or directly through the named strategy
-// router. The returned error is request-level (invalid shape, unknown
+// router. ctx gates the wait: a cancelled context abandons the request (the
+// in-flight micro-batch still completes server-side) and returns ctx.Err().
+// The returned error is otherwise request-level (invalid shape, unknown
 // strategy, service shutting down); per-permutation planning failures come
 // back in Result.Err, mirroring the batch contract.
-func (s *Service) Route(d, g int, pi []int, strategy string) (Result, error) {
+func (s *Service) Route(ctx context.Context, d, g int, pi []int, strategy string) (Result, error) {
 	start := time.Now()
 	defer func() { s.latency.observe(time.Since(start)) }()
 	s.requests.Add(1)
@@ -182,7 +185,34 @@ func (s *Service) Route(d, g int, pi []int, strategy string) (Result, error) {
 		if err != nil {
 			return Result{}, err
 		}
-		res, err := sh.route(pi, strategy)
+		res, err := sh.route(ctx, pi, strategy)
+		if err == errShardRetired {
+			continue // the shard was evicted between lookup and admission
+		}
+		if err != nil {
+			return Result{}, err
+		}
+		return res, nil
+	}
+}
+
+// Execute plans one non-permutation workload on POPS(d, g), bypassing the
+// micro-batching queue (which amortizes only the Theorem 2 permutation
+// path): the workload is executed directly on the shard's planner, where it
+// shares the pooled worker arenas and the fingerprint plan cache. ctx
+// cancels planning between König factors. Request-level failures (invalid
+// shape, shutdown) are returned as the error; workload planning failures
+// come back in Result.Err, mirroring Route.
+func (s *Service) Execute(ctx context.Context, d, g int, w pops.Workload) (Result, error) {
+	start := time.Now()
+	defer func() { s.latency.observe(time.Since(start)) }()
+	s.requests.Add(1)
+	for {
+		sh, err := s.shardFor(d, g)
+		if err != nil {
+			return Result{}, err
+		}
+		res, err := sh.execute(ctx, w)
 		if err == errShardRetired {
 			continue // the shard was evicted between lookup and admission
 		}
@@ -197,8 +227,9 @@ func (s *Service) Route(d, g int, pi []int, strategy string) (Result, error) {
 // admitted to the shard's queue before any result is awaited, so a batch
 // coalesces with itself (and with concurrent requests) onto RouteBatch.
 // Per-entry outcomes are independent: each result carries its own plan or
-// error, mirroring the pops.Planner.RouteBatch contract.
-func (s *Service) RouteMany(d, g int, pis [][]int, strategy string) ([]Result, error) {
+// error, mirroring the pops.Planner.RouteBatch contract. A cancelled ctx
+// abandons the wait and returns ctx.Err().
+func (s *Service) RouteMany(ctx context.Context, d, g int, pis [][]int, strategy string) ([]Result, error) {
 	start := time.Now()
 	defer func() { s.latency.observe(time.Since(start)) }()
 	s.requests.Add(uint64(len(pis)))
@@ -226,7 +257,11 @@ func (s *Service) RouteMany(d, g int, pis [][]int, strategy string) ([]Result, e
 			admitted++
 		}
 		for i := 0; i < admitted; i++ {
-			results[offset+i] = <-waiters[offset+i]
+			select {
+			case results[offset+i] = <-waiters[offset+i]:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
 		}
 		pending = pending[admitted:]
 		offset += admitted

@@ -158,7 +158,7 @@ func TestMicroBatchCoalescesIdenticalRequests(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			res, err := svc.Route(d, g, pi, "")
+			res, err := svc.Route(context.Background(), d, g, pi, "")
 			if err != nil {
 				t.Error(err)
 				return
@@ -213,7 +213,7 @@ func TestMicroBatchReachesRouteBatchWithSizeGreaterThanOne(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			res, err := svc.Route(d, g, pis[i], "")
+			res, err := svc.Route(context.Background(), d, g, pis[i], "")
 			if err != nil {
 				t.Error(err)
 				return
@@ -434,7 +434,7 @@ func TestCloseDrainsInFlightAndRejectsNew(t *testing.T) {
 			t.Fatalf("in-flight request %d lost across shutdown: %+v", i, res)
 		}
 	}
-	if _, err := svc.Route(d, g, pops.VectorReversal(d*g), ""); err != ErrClosed {
+	if _, err := svc.Route(context.Background(), d, g, pops.VectorReversal(d*g), ""); err != ErrClosed {
 		t.Fatalf("post-close route error = %v, want ErrClosed", err)
 	}
 	svc.Close() // idempotent

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"sync/atomic"
@@ -78,13 +79,43 @@ func newShard(s *Service, d, g int) (*shard, error) {
 	}, nil
 }
 
-// route admits pi and waits for its result.
-func (sh *shard) route(pi []int, strategy string) (Result, error) {
+// route admits pi and waits for its result, abandoning the wait when ctx is
+// cancelled (the admitted entry still completes within its micro-batch).
+func (sh *shard) route(ctx context.Context, pi []int, strategy string) (Result, error) {
 	ch, err := sh.admit(pi, strategy)
 	if err != nil {
 		return Result{}, err
 	}
-	return <-ch, nil
+	select {
+	case res := <-ch:
+		return res, nil
+	case <-ctx.Done():
+		return Result{}, ctx.Err()
+	}
+}
+
+// execute runs a non-permutation workload directly on the shard's planner,
+// bypassing the micro-batching queue: the planner's own worker pool and
+// plan cache provide the amortization for these kinds.
+func (sh *shard) execute(ctx context.Context, w pops.Workload) (Result, error) {
+	sh.mu.RLock()
+	if sh.closed {
+		sh.mu.RUnlock()
+		return Result{}, errShardRetired
+	}
+	sh.requests.Add(1)
+	sh.mu.RUnlock()
+	plan, cached, err := sh.planner.ExecuteCached(ctx, w)
+	if err != nil {
+		// Context errors are request-level: the caller went away, nothing
+		// was planned. Workload errors (bad requests, bad speaker) stay
+		// per-entry like planning failures of the batch path.
+		if ctx.Err() != nil {
+			return Result{}, ctx.Err()
+		}
+		return Result{Err: err}, nil
+	}
+	return Result{Plan: plan, Cached: cached}, nil
 }
 
 // admit enqueues pi on the micro-batching queue (default strategy) or

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -15,6 +16,10 @@ import (
 // so the admission queue keeps admitting (and flushing) other requests
 // between Next calls, including while this stream's factorization is still
 // in progress.
+//
+// The admission context is threaded into the planner stream: cancelling it
+// stops factor production at the next Next call (the context error surfaces
+// through Err) and the worker planner returns to the pool on Close.
 //
 // The caller MUST Close the stream (idempotent, safe after exhaustion):
 // Close releases the worker planner back to the shard's pool and signals
@@ -36,18 +41,40 @@ type Stream struct {
 	closed    bool
 }
 
-// RouteStream admits a streaming plan request for pi on POPS(d, g). The
-// returned error is request-level (invalid shape or permutation, unknown
-// strategy, service shutting down); planning failures after admission
-// surface through Stream.Err. Strategy "" and "theorem2" stream
-// incrementally; other strategies plan first and then replay whole slots.
-func (s *Service) RouteStream(d, g int, pi []int, strategy string) (*Stream, error) {
+// RouteStream admits a streaming plan request for permutation pi on
+// POPS(d, g). The returned error is request-level (invalid shape or
+// permutation, unknown strategy, service shutting down); planning failures
+// after admission surface through Stream.Err. Strategy "" and "theorem2"
+// stream incrementally; other strategies plan first and then replay whole
+// slots.
+func (s *Service) RouteStream(ctx context.Context, d, g int, pi []int, strategy string) (*Stream, error) {
+	if strategy != "" && strategy != pops.StrategyTheoremTwo {
+		return s.admitStreamRetrying(ctx, d, g, nil, pi, strategy)
+	}
+	return s.admitStreamRetrying(ctx, d, g, pops.Permutation(pi), nil, "")
+}
+
+// ExecuteStream admits a streaming plan request for any workload: slot
+// fragments are flushed while the König factorization — of the group demand
+// graph for permutations, of the request multigraph for h-relations — is
+// still peeling later factors. ctx cancels planning between factors.
+func (s *Service) ExecuteStream(ctx context.Context, d, g int, w pops.Workload) (*Stream, error) {
+	if w == nil {
+		return nil, pops.ErrNilWorkload
+	}
+	return s.admitStreamRetrying(ctx, d, g, w, nil, "")
+}
+
+// admitStreamRetrying resolves the shard (retrying across evictions) and
+// admits the stream. Exactly one of w (workload streaming) and pi+strategy
+// (non-default strategy replay) is set.
+func (s *Service) admitStreamRetrying(ctx context.Context, d, g int, w pops.Workload, pi []int, strategy string) (*Stream, error) {
 	for {
 		sh, err := s.shardFor(d, g)
 		if err != nil {
 			return nil, err
 		}
-		st, err := sh.admitStream(pi, strategy)
+		st, err := sh.admitStream(ctx, w, pi, strategy)
 		if err == errShardRetired {
 			continue // the shard was evicted between lookup and admission
 		}
@@ -60,7 +87,7 @@ func (s *Service) RouteStream(d, g int, pi []int, strategy string) (*Stream, err
 
 // admitStream checks shutdown state, registers the stream with the
 // service's drain group, and starts planning.
-func (sh *shard) admitStream(pi []int, strategy string) (*Stream, error) {
+func (sh *shard) admitStream(ctx context.Context, w pops.Workload, pi []int, strategy string) (*Stream, error) {
 	svc := sh.svc
 	sh.mu.RLock()
 	if sh.closed {
@@ -80,17 +107,27 @@ func (sh *shard) admitStream(pi []int, strategy string) (*Stream, error) {
 		}
 	}()
 
-	fingerprint := fmt.Sprintf("%016x", pops.PermutationFingerprint(pi))
-	if strategy == "" || strategy == pops.StrategyTheoremTwo {
-		ps, err := sh.planner.RouteStream(pi)
+	if w != nil {
+		ps, err := sh.planner.ExecuteStream(ctx, w)
 		if err != nil {
 			return nil, err
 		}
 		st.ps = ps
+		wireKind := w.Kind()
+		planStrategy := pops.StrategyTheoremTwo
+		switch wireKind {
+		case pops.WorkloadPermutation:
+			wireKind = "" // the original untagged schema
+		case pops.WorkloadHRelation, pops.WorkloadAllToAll:
+			planStrategy = pops.StrategyHRelation
+		case pops.WorkloadOneToAll:
+			planStrategy = pops.StrategyOneToAll
+		}
 		st.meta = wire.StreamMeta{
-			D: sh.key.d, G: sh.key.g,
+			D: sh.key.d, G: sh.key.g, Workload: wireKind,
 			Slots: ps.SlotCount(), Fragments: ps.FragmentCount(),
-			Strategy: pops.StrategyTheoremTwo, Fingerprint: fingerprint, Cached: ps.Cached(),
+			Strategy: planStrategy, Fingerprint: fmt.Sprintf("%016x", pops.WorkloadFingerprint(w)),
+			Cached: ps.Cached(),
 		}
 	} else {
 		// Direct strategies have no incremental planner; plan up front and
@@ -108,7 +145,7 @@ func (sh *shard) admitStream(pi []int, strategy string) (*Stream, error) {
 		st.meta = wire.StreamMeta{
 			D: sh.key.d, G: sh.key.g,
 			Slots: plan.SlotCount(), Fragments: plan.SlotCount(),
-			Strategy: plan.Strategy, Fingerprint: fingerprint,
+			Strategy: plan.Strategy, Fingerprint: fmt.Sprintf("%016x", pops.PermutationFingerprint(pi)),
 		}
 	}
 	sh.requests.Add(1)
@@ -140,7 +177,7 @@ func (st *Stream) Next() (wire.StreamSlot, bool) {
 				// where the completed schedule is replayed on the simulator
 				// (a failure becomes the stream's error record instead of a
 				// done record), and where the plan is memoized so repeated
-				// streamed permutations hit the fingerprint cache.
+				// streamed workloads hit the fingerprint cache.
 				if _, err := st.ps.Collect(); err != nil {
 					st.err = err
 				}
@@ -168,7 +205,8 @@ func (st *Stream) Next() (wire.StreamSlot, bool) {
 	return rec, true
 }
 
-// Err returns the stream's planning error, if any.
+// Err returns the stream's planning error, if any — including ctx.Err()
+// when the admission context was cancelled mid-stream.
 func (st *Stream) Err() error { return st.err }
 
 // finish records the stream's planning latency once all fragments have

@@ -12,20 +12,47 @@ package wire
 
 import "pops/internal/popsnet"
 
-// RouteRequest is the body of POST /route: one permutation (Pi) or a batch
-// (Pis) to plan on POPS(D, G). Exactly one of Pi and Pis must be set.
+// Workload kind tags of the tagged request schema, mirroring the
+// pops.Workload constructors. An empty workload field means "permutation".
+const (
+	WorkloadPermutation = "permutation"
+	WorkloadHRelation   = "hrelation"
+	WorkloadAllToAll    = "all-to-all"
+	WorkloadOneToAll    = "one-to-all"
+)
+
+// Request is one packet demand of an h-relation workload: move a packet
+// from Src to Dst.
+type Request struct {
+	Src int `json:"src"`
+	Dst int `json:"dst"`
+}
+
+// RouteRequest is the body of POST /route and POST /route/stream: one
+// workload to plan on POPS(D, G). Workload selects the kind ("" means
+// "permutation"): permutation workloads carry one permutation (Pi) or — on
+// /route only — a batch (Pis); hrelation workloads carry Requests; all-to-all
+// needs no payload; one-to-all carries Speaker.
 type RouteRequest struct {
 	D int `json:"d"`
 	G int `json:"g"`
+	// Workload tags the request kind (WorkloadPermutation, ...). Empty
+	// means WorkloadPermutation, the original untagged schema.
+	Workload string `json:"workload,omitempty"`
 	// Pi is the single-permutation form; the response carries one plan.
 	Pi []int `json:"pi,omitempty"`
 	// Pis is the batch form; the response carries one plan per entry, in
 	// order.
 	Pis [][]int `json:"pis,omitempty"`
-	// Strategy selects the routing strategy ("theorem2", "greedy",
-	// "direct-optimal", "singleslot", "auto"). Empty means "theorem2", the
-	// only strategy served through the micro-batching + plan-cache path;
-	// other strategies are planned per request.
+	// Requests is the h-relation form: the packet demands to deliver.
+	Requests []Request `json:"requests,omitempty"`
+	// Speaker is the broadcasting processor of a one-to-all workload.
+	Speaker int `json:"speaker,omitempty"`
+	// Strategy selects the routing strategy for permutation workloads
+	// ("theorem2", "greedy", "direct-optimal", "singleslot", "auto"). Empty
+	// means "theorem2", the only strategy served through the micro-batching
+	// + plan-cache path; other strategies are planned per request.
+	// Non-permutation workloads reject a non-default strategy.
 	Strategy string `json:"strategy,omitempty"`
 	// IncludeSchedule asks for the full slot schedule in each plan, so the
 	// caller can replay it on a simulator. Off by default: schedules are
@@ -36,9 +63,14 @@ type RouteRequest struct {
 // PlanResult is one planned permutation of a RouteResponse. Either Error is
 // set (and the rest is zero), or the plan fields are.
 type PlanResult struct {
-	Strategy    string `json:"strategy,omitempty"`
-	Slots       int    `json:"slots,omitempty"`
-	Rounds      int    `json:"rounds,omitempty"`
+	Strategy string `json:"strategy,omitempty"`
+	// Workload tags the kind of plan (WorkloadPermutation, ...); empty for
+	// permutation plans, preserving the original schema.
+	Workload string `json:"workload,omitempty"`
+	Slots    int    `json:"slots,omitempty"`
+	Rounds   int    `json:"rounds,omitempty"`
+	// H is the relation degree of an h-relation or all-to-all plan.
+	H           int    `json:"h,omitempty"`
 	Fingerprint string `json:"fingerprint,omitempty"`
 	// Cached reports that this plan was answered from the shard's
 	// fingerprint plan cache rather than replanned.
@@ -73,8 +105,11 @@ type StreamRecord struct {
 // and whether the stream replays a fingerprint-cache hit (whole-slot
 // records) or is planned incrementally (one record per color class).
 type StreamMeta struct {
-	D           int    `json:"d"`
-	G           int    `json:"g"`
+	D int `json:"d"`
+	G int `json:"g"`
+	// Workload tags the kind of plan being streamed; empty for permutation
+	// streams, preserving the original schema.
+	Workload    string `json:"workload,omitempty"`
 	Slots       int    `json:"slots"`
 	Fragments   int    `json:"fragments"`
 	Strategy    string `json:"strategy"`

@@ -7,9 +7,9 @@ import (
 	"pops/internal/perms"
 )
 
-// CacheStats is a snapshot of a Planner's fingerprint plan cache counters
+// CacheStats is a snapshot of a Planner's workload plan cache counters
 // (see WithPlanCache). Hits + Misses is the total number of lookups; a
-// lookup that finds the fingerprint but fails the equality check (a 64-bit
+// lookup that finds the key but fails the equality check (a 64-bit
 // collision) counts as a miss.
 type CacheStats struct {
 	Hits      uint64 `json:"hits"`
@@ -19,11 +19,13 @@ type CacheStats struct {
 	Capacity  int    `json:"capacity"`
 }
 
-// planCache memoizes *Plan results keyed by the permutation fingerprint,
-// with an LRU bound on live entries. Because the key is a 64-bit digest,
-// every hit re-verifies the stored permutation for equality before the plan
-// is trusted; a fingerprint collision therefore degrades to a miss (the
-// colliding entry is overwritten), never to a wrong plan.
+// planCache memoizes *Plan results keyed by the workload cache key — the
+// workload-kind tag mixed into the content fingerprint — with an LRU bound
+// on live entries. Because the key is a 64-bit digest, every hit re-verifies
+// the stored workload identity (kind plus the flattened content) for
+// equality before the plan is trusted; a fingerprint collision therefore
+// degrades to a miss (the colliding entry is overwritten), never to a wrong
+// plan.
 //
 // Cached *Plans are shared: a hit returns the same pointer that an earlier
 // call produced, so callers must treat plans as immutable — which the rest
@@ -31,18 +33,21 @@ type CacheStats struct {
 type planCache struct {
 	mu      sync.Mutex
 	cap     int
-	entries map[uint64]*list.Element // fingerprint -> *cacheEntry element
+	entries map[uint64]*list.Element // cache key -> *cacheEntry element
 	lru     list.List                // front = most recently used
 	stats   CacheStats
 }
 
-// cacheEntry is one memoized plan. pi is the cache's own copy of the
-// permutation, kept for the equality check on hits: under WithPlanNoCopy
-// plan.Pi aliases caller memory, which the cache must not depend on.
+// cacheEntry is one memoized plan. ident is the cache's own copy of the
+// workload's flattened identity (the permutation itself, or the src/dst
+// pairs of an h-relation), kept for the equality check on hits: under
+// WithPlanNoCopy plan.Pi aliases caller memory, which the cache must not
+// depend on.
 type cacheEntry struct {
-	fp   uint64
-	pi   []int
-	plan *Plan
+	key   uint64
+	kind  uint8
+	ident []int
+	plan  *Plan
 }
 
 func newPlanCache(capacity int) *planCache {
@@ -53,13 +58,14 @@ func newPlanCache(capacity int) *planCache {
 	}
 }
 
-// get returns the memoized plan for pi, if any, and records the hit or miss.
-func (c *planCache) get(fp uint64, pi []int) (*Plan, bool) {
+// get returns the memoized plan for the workload identified by (key, kind,
+// ident), if any, and records the hit or miss.
+func (c *planCache) get(key uint64, kind uint8, ident []int) (*Plan, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if el, ok := c.entries[fp]; ok {
+	if el, ok := c.entries[key]; ok {
 		e := el.Value.(*cacheEntry)
-		if perms.Equal(e.pi, pi) {
+		if e.kind == kind && perms.Equal(e.ident, ident) {
 			c.lru.MoveToFront(el)
 			c.stats.Hits++
 			return e.plan, true
@@ -69,28 +75,29 @@ func (c *planCache) get(fp uint64, pi []int) (*Plan, bool) {
 	return nil, false
 }
 
-// put memoizes plan under fp, snapshotting pi for hit-time verification and
-// evicting the least recently used entry when the cache is full. A
-// same-fingerprint entry (collision, or a racing insert of the same
-// permutation) is overwritten in place.
-func (c *planCache) put(fp uint64, pi []int, plan *Plan) {
+// put memoizes plan under key, snapshotting ident for hit-time verification
+// and evicting the least recently used entry when the cache is full. A
+// same-key entry (collision, or a racing insert of the same workload) is
+// overwritten in place.
+func (c *planCache) put(key uint64, kind uint8, ident []int, plan *Plan) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if el, ok := c.entries[fp]; ok {
+	if el, ok := c.entries[key]; ok {
 		e := el.Value.(*cacheEntry)
-		e.pi = append(e.pi[:0], pi...)
+		e.kind = kind
+		e.ident = append(e.ident[:0], ident...)
 		e.plan = plan
 		c.lru.MoveToFront(el)
 		return
 	}
 	if c.lru.Len() >= c.cap {
 		back := c.lru.Back()
-		delete(c.entries, back.Value.(*cacheEntry).fp)
+		delete(c.entries, back.Value.(*cacheEntry).key)
 		c.lru.Remove(back)
 		c.stats.Evictions++
 	}
-	e := &cacheEntry{fp: fp, pi: append([]int(nil), pi...), plan: plan}
-	c.entries[fp] = c.lru.PushFront(e)
+	e := &cacheEntry{key: key, kind: kind, ident: append([]int(nil), ident...), plan: plan}
+	c.entries[key] = c.lru.PushFront(e)
 }
 
 // snapshot returns the current counters.

@@ -1,6 +1,7 @@
 package pops
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -8,21 +9,25 @@ import (
 	"pops/internal/perms"
 )
 
-// Planner is the batch-friendly entry point for planning many permutations
-// on one POPS(d, g) network: the network shape is validated once, and the
-// internal demand-graph and invariant-check buffers of the Theorem 2 planner
-// are recycled across calls instead of reallocated per permutation. It is
-// what a routing service should hold per network shape.
+// Planner is the entry point for planning workloads on one POPS(d, g)
+// network: the network shape is validated once, and the internal
+// demand-graph, coloring-arena and invariant-check buffers of the planners
+// are recycled across calls instead of reallocated per workload. It is what
+// a routing service should hold per network shape. Workloads — permutations,
+// h-relations, the complete exchange, broadcasts — are executed by the one
+// pair of context-aware methods Execute and ExecuteStream.
 //
 // A Planner is safe for concurrent use: it keeps a free list of per-worker
-// core planners (bounded by WithParallelism), so concurrent Route calls and
-// RouteBatch workers never share scratch memory.
+// core planners (bounded by WithParallelism), so concurrent Execute calls
+// and RouteBatch workers never share scratch memory.
 //
 // With WithPlanCache(n), the planner additionally memoizes up to n plans
-// keyed by PermutationFingerprint: recurring permutations (BPC families,
-// mesh shifts) are answered from the cache instead of replanned. Hits return
-// the same *Plan pointer to every caller, so plans must be treated as
-// immutable — which Plan's read-only method set already assumes.
+// keyed by the workload fingerprint (WorkloadFingerprint — for permutations
+// exactly PermutationFingerprint): recurring workloads (BPC families, mesh
+// shifts, the all-to-all exchange) are answered from the cache instead of
+// replanned. Hits return the same *Plan pointer to every caller, so plans
+// must be treated as immutable — which Plan's read-only method set already
+// assumes.
 type Planner struct {
 	nw    Network
 	opts  Options
@@ -76,47 +81,44 @@ func (p *Planner) routeOne(pl *core.Planner, pi []int) (*Plan, bool, error) {
 		return plan, false, err
 	}
 	fp := perms.Fingerprint(pi)
-	if plan, ok := p.cache.get(fp, pi); ok {
+	if plan, ok := p.cache.get(fp, cacheKindPermutation, pi); ok {
 		return plan, true, nil
 	}
 	plan, err := pl.Plan(pi)
 	if err != nil {
 		return nil, false, err
 	}
-	p.cache.put(fp, pi, plan)
+	p.cache.put(fp, cacheKindPermutation, pi, plan)
 	return plan, false, nil
 }
 
 // Route plans the Theorem 2 routing of pi, reusing the planner's internal
-// buffers. The returned Plan owns its memory and stays valid across
-// subsequent calls. With WithPlanCache, a repeated permutation is answered
-// from the fingerprint cache without replanning — the cache is consulted
-// before a worker planner is checked out, so hits cost no planner
-// allocation even when concurrency exceeds the free list.
+// buffers.
+//
+// Deprecated: use Execute with a Permutation workload, which also carries a
+// context for cancellation. Route remains a thin wrapper over it and
+// returns byte-identical plans (including fingerprint-cache behavior).
 func (p *Planner) Route(pi []int) (*Plan, error) {
-	if p.cache != nil {
-		if plan, ok := p.cache.get(perms.Fingerprint(pi), pi); ok {
-			return plan, nil
-		}
-	}
-	pl := p.acquire()
-	defer p.release(pl)
-	plan, err := pl.Plan(pi)
-	if err != nil || p.cache == nil {
-		return plan, err
-	}
-	p.cache.put(perms.Fingerprint(pi), pi, plan)
-	return plan, nil
+	plan, _, err := p.routePermutation(context.Background(), pi)
+	return plan, err
 }
 
 // CachedPlan reports whether pi's plan is currently memoized, returning it
 // on a verified hit. The lookup counts toward CacheStats like any other.
 // Without WithPlanCache it reports false and counts nothing.
 func (p *Planner) CachedPlan(pi []int) (*Plan, bool) {
-	if p.cache == nil {
+	return p.CachedWorkload(Permutation(pi))
+}
+
+// CachedWorkload reports whether w's plan is currently memoized, returning
+// it on a verified hit. The lookup counts toward CacheStats like any other.
+// Without WithPlanCache it reports false and counts nothing.
+func (p *Planner) CachedWorkload(w Workload) (*Plan, bool) {
+	if p.cache == nil || w == nil {
 		return nil, false
 	}
-	return p.cache.get(perms.Fingerprint(pi), pi)
+	key, kind, ident := workloadKey(w)
+	return p.cache.get(key, kind, ident)
 }
 
 // CacheStats returns a snapshot of the fingerprint plan cache counters. The

@@ -8,12 +8,24 @@
 // one slot when d = 1 and 2·⌈d/g⌉ slots when d > 1 — worst-case optimal,
 // and within a factor two of optimal for every fixed-point-free permutation.
 //
-// Quick start:
+// Quick start — hold a Planner per network shape and Execute workloads on
+// it:
 //
+//	p, err := pops.NewPlanner(8, 8)  // POPS(8,8), n = 64
 //	pi := pops.RandomPermutation(64, rng)
-//	plan, err := pops.Route(8, 8, pi) // POPS(8,8), n = 64
+//	plan, err := p.Execute(ctx, pops.Permutation(pi))
 //	// plan.SlotCount() == 2 == pops.OptimalSlots(8, 8)
 //	trace, err := plan.Verify()      // replay on the slot-level simulator
+//
+// Workloads are the unit of planning: Permutation(pi) is the paper's
+// Theorem 2 problem, HRelation(reqs) its h-relation generalization,
+// AllToAll() the complete exchange, and OneToAll(speaker) the one-slot
+// broadcast. All four run through the same pair of context-aware methods —
+// Planner.Execute for a finished *Plan, Planner.ExecuteStream for slot
+// fragments delivered while the König factorization is still peeling later
+// factors (time-to-first-slot is a small fraction of the full planning
+// latency). Cancelling the context stops planning between factors and
+// returns the pooled worker.
 //
 // Every routing strategy — Theorem 2 (TheoremTwo), the greedy and optimal
 // direct baselines (Greedy, DirectOptimal), the Gravenstreter–Melhem
@@ -25,32 +37,30 @@
 //	plan, err := r.Route(pi) // plan.Strategy == "singleslot" | "direct-optimal" | "theorem2"
 //
 // Behavior is configured with functional options (WithAlgorithm, WithVerify,
-// WithParallelism). For planning streams of permutations, Planner validates
-// the network once and reuses internal buffers across calls:
+// WithParallelism). For planning batches of permutations, RouteBatch fans
+// a bounded worker pool over the planner's pooled per-worker arenas:
 //
 //	p, err := pops.NewPlanner(8, 8, pops.WithParallelism(4))
 //	plans, err := p.RouteBatch(pis) // order-stable, bounded worker pool
 //
-// WithPlanCache adds a fingerprint-keyed plan cache to a Planner, and the
+// WithPlanCache adds a workload-fingerprint plan cache to a Planner, and the
 // same planning surface is served over HTTP by cmd/popsserved (sharded per
-// network shape, micro-batched); ServiceClient is its Go client.
-//
-// Plans can also be consumed incrementally: Planner.RouteStream delivers
-// the schedule as slot fragments while the König factorization is still
-// peeling later color classes, with PlanStream.Collect byte-identical to
-// Route — time-to-first-slot is a small fraction of the full planning
-// latency. The service serves the same stream as chunked NDJSON over
-// POST /route/stream (ServiceClient.RouteStream).
+// network shape, micro-batched); ServiceClient is its Go client
+// (Execute/ExecuteStream mirror the Planner methods over the wire, with
+// POST /route/stream flushing slot records as chunked NDJSON).
 //
 // The facade additionally re-exports the building blocks: the slot-level
 // network simulator (Network, Schedule, Run), the Theorem 1 machinery (fair
 // distributions via balanced bipartite edge coloring), permutation families
 // from the related literature (BPC, mesh shifts, hypercube exchanges,
-// reversal, transpose), the lower bounds of Propositions 1–3, and
-// h-relation routing built on repeated Theorem 2.
+// reversal, transpose), and the lower bounds of Propositions 1–3. The
+// superseded free functions (Route, RouteHRelation, RouteAllToAll, the
+// legacy GreedyRoute/DirectOptimalRoute/OneSlotRoute) remain as thin
+// deprecated wrappers over the Execute surface.
 package pops
 
 import (
+	"context"
 	"math/rand"
 
 	"pops/internal/bounds"
@@ -97,10 +107,16 @@ func NewNetwork(d, g int) (Network, error) { return popsnet.NewNetwork(d, g) }
 
 // Route plans the Theorem 2 routing of pi on POPS(d, g). The schedule uses
 // exactly OptimalSlots(d, g) slots and can be replayed with plan.Verify.
-// Behavior is tuned with functional options (WithAlgorithm, WithVerify).
-// For planning many permutations on one shape, prefer a Planner.
+//
+// Deprecated: hold a Planner and use Execute with a Permutation workload —
+// it reuses pooled arenas across calls and carries a context. Route remains
+// a thin wrapper over it and returns byte-identical plans.
 func Route(d, g int, pi []int, opts ...Option) (*Plan, error) {
-	return core.PlanRoute(d, g, pi, NewOptions(opts...))
+	p, err := NewPlanner(d, g, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return p.Execute(context.Background(), Permutation(pi))
 }
 
 // RouteWith is Route with an explicit options struct.
@@ -127,9 +143,12 @@ func Run(s *Schedule) (*Trace, error) {
 	return tr, err
 }
 
-// OneToAll returns the paper's one-slot broadcast schedule from the given
-// speaker processor.
-func OneToAll(nw Network, speaker int) (*Schedule, error) {
+// BroadcastSchedule returns the paper's one-slot broadcast schedule from
+// the given speaker processor.
+//
+// Deprecated: use Execute with a OneToAll workload, whose Plan carries the
+// same schedule plus the broadcast Verify contract.
+func BroadcastSchedule(nw Network, speaker int) (*Schedule, error) {
 	return popsnet.OneToAll(nw, speaker, speaker)
 }
 
@@ -192,24 +211,51 @@ func OneSlotRoute(d, g int, pi []int) (*Schedule, error) {
 // destination.
 type Request = hrelation.Request
 
-// HRelationPlan is a verified-constructible plan for an h-relation.
+// HRelationPlan is the historical result shape of RouteHRelation: a view
+// over the unified *Plan that Execute produces for HRelation workloads.
 type HRelationPlan = hrelation.Plan
 
 // RouteHRelation generalizes Route to h-relations: the request multigraph is
 // decomposed into h permutations (König), each routed by Theorem 2, for
-// h·OptimalSlots(d, g) slots in total. The per-factor routings run on a
-// bounded worker pool sized by WithParallelism.
+// h·OptimalSlots(d, g) slots in total.
+//
+// Deprecated: hold a Planner and use Execute with an HRelation workload —
+// it reuses the pooled per-worker arenas and the plan cache, carries a
+// context, and streams via ExecuteStream. RouteHRelation remains a thin
+// wrapper over it with a byte-identical schedule.
 func RouteHRelation(d, g int, reqs []Request, opts ...Option) (*HRelationPlan, error) {
-	return hrelation.Route(d, g, reqs, NewOptions(opts...))
+	p, err := NewPlanner(d, g, opts...)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := p.Execute(context.Background(), HRelation(reqs))
+	if err != nil {
+		return nil, err
+	}
+	return hrelation.FromCore(plan), nil
 }
 
-// HRelationSlots returns the slot cost of RouteHRelation for degree h.
+// HRelationSlots returns the slot cost of an h-relation plan for degree h:
+// h · OptimalSlots(d, g).
 func HRelationSlots(d, g, h int) int { return hrelation.PredictedSlots(d, g, h) }
 
-// AllToAll routes the complete exchange (every processor sends one distinct
-// packet to every other processor) as an (n−1)-relation.
-func AllToAll(d, g int, opts ...Option) (*HRelationPlan, error) {
-	return hrelation.AllToAll(d, g, NewOptions(opts...))
+// RouteAllToAll routes the complete exchange (every processor sends one
+// distinct packet to every other processor) as an (n−1)-relation.
+//
+// Deprecated: hold a Planner and use Execute with an AllToAll workload,
+// which additionally memoizes the exchange in the plan cache.
+// RouteAllToAll remains a thin wrapper over it with a byte-identical
+// schedule.
+func RouteAllToAll(d, g int, opts ...Option) (*HRelationPlan, error) {
+	p, err := NewPlanner(d, g, opts...)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := p.Execute(context.Background(), AllToAll())
+	if err != nil {
+		return nil, err
+	}
+	return hrelation.FromCore(plan), nil
 }
 
 // Permutation utilities and families (package perms).

@@ -1,6 +1,7 @@
 package pops
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 )
@@ -110,7 +111,7 @@ func TestFacadeBroadcastAndRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sched, err := OneToAll(nw, 4)
+	sched, err := BroadcastSchedule(nw, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,6 +121,23 @@ func TestFacadeBroadcastAndRun(t *testing.T) {
 	}
 	if len(tr.PacketsMoved) != 1 || tr.PacketsMoved[0] != nw.N() {
 		t.Fatalf("broadcast trace = %+v", tr)
+	}
+
+	// The OneToAll workload carries the same schedule plus the broadcast
+	// delivery contract on Verify.
+	p, err := NewPlanner(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := p.Execute(context.Background(), OneToAll(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Strategy != "one-to-all" || plan.Speaker != 4 || plan.SlotCount() != 1 {
+		t.Fatalf("broadcast plan = strategy %q speaker %d slots %d", plan.Strategy, plan.Speaker, plan.SlotCount())
+	}
+	if _, err := plan.Verify(); err != nil {
+		t.Fatal(err)
 	}
 }
 
@@ -181,7 +199,7 @@ func TestFacadeHRelation(t *testing.T) {
 }
 
 func TestFacadeAllToAll(t *testing.T) {
-	plan, err := AllToAll(2, 2)
+	plan, err := RouteAllToAll(2, 2)
 	if err != nil {
 		t.Fatal(err)
 	}

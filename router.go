@@ -32,13 +32,17 @@ type Router interface {
 	Route(pi []int) (*Plan, error)
 }
 
-// Canonical strategy names, usable with NewRouter.
+// Canonical strategy names, usable with NewRouter. StrategyHRelation and
+// StrategyOneToAll are not routers: they name the workload planners behind
+// Execute's HRelation/AllToAll and OneToAll kinds in Plan.Strategy.
 const (
 	StrategyTheoremTwo    = core.StrategyTheoremTwo
 	StrategyGreedy        = core.StrategyGreedy
 	StrategyDirectOptimal = core.StrategyDirectOptimal
 	StrategySingleSlot    = core.StrategySingleSlot
 	StrategyAuto          = core.StrategyAuto
+	StrategyHRelation     = core.StrategyHRelation
+	StrategyOneToAll      = core.StrategyOneToAll
 )
 
 // Strategies lists the canonical strategy names accepted by NewRouter, in

@@ -1,38 +1,60 @@
 package pops
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
 	"pops/internal/core"
-	"pops/internal/perms"
 )
 
 // StreamedSlot is one increment of a streaming plan: the fragment of one
-// schedule slot contributed by a single relay color class (or a whole slot,
-// when the plan was answered from the fingerprint cache). See RouteStream.
+// schedule slot contributed by a single relay color class, one whole slot
+// of an h-relation factor, or a whole slot replayed from the fingerprint
+// cache. See ExecuteStream.
 type StreamedSlot = core.StreamedSlot
+
+// coreStream is the incremental planner behind a PlanStream: the Theorem 2
+// per-color-class stream (core.PlanStream) or the per-factor h-relation
+// stream (core.HRelationStream). Both deliver StreamedSlots and assemble
+// the identical *Plan their batch counterparts produce.
+type coreStream interface {
+	Next() (core.StreamedSlot, bool)
+	Collect() (*core.Plan, error)
+	Plan() *core.Plan
+	Err() error
+	FragmentCount() int
+	SlotCount() int
+}
+
+var (
+	_ coreStream = (*core.PlanStream)(nil)
+	_ coreStream = (*core.HRelationStream)(nil)
+)
 
 // PlanStream is an in-progress routing plan whose schedule is delivered
 // incrementally: the first slot fragment is ready after a single color
-// class of the demand graph has been peeled, long before the full
-// factorization behind a batch Route call completes. Drive it with Next, or
-// Collect the remaining fragments into the finished *Plan — byte identical
-// to what Route would have returned for the same permutation.
+// class (or, for h-relation workloads, a single König factor) has been
+// peeled, long before the full factorization behind a batch Execute call
+// completes. Drive it with Next, or Collect the remaining fragments into
+// the finished *Plan — byte identical to what Execute would have returned
+// for the same workload.
 //
 // Ownership contract: a live stream owns one of its Planner's worker
 // planners. The worker returns to the pool when the stream is exhausted
-// (Next returned false, or Collect was called) — or when an abandoned
-// stream is Closed. Callers that stop consuming a stream early MUST call
-// Close, or the worker planner leaks from the free list for the stream's
-// lifetime. Close is idempotent and safe after exhaustion.
+// (Next returned false, or Collect was called), when the stream fails —
+// including context cancellation, whose ctx.Err() surfaces through Err —
+// or when an abandoned stream is Closed. Callers that stop consuming a
+// stream early MUST call Close, or the worker planner leaks from the free
+// list for the stream's lifetime. Close is idempotent and safe after
+// exhaustion.
 //
 // A PlanStream is not safe for concurrent use, but different streams of one
 // Planner — and concurrent Route/RouteBatch calls — are independent.
 type PlanStream struct {
 	p      *Planner
 	worker *core.Planner
-	cs     *core.PlanStream
+	cs     coreStream
 
 	// Cache-hit replay state: the memoized plan is emitted as one
 	// whole-slot fragment per schedule slot, no worker needed.
@@ -40,43 +62,35 @@ type PlanStream struct {
 	cached    bool
 	replayIdx int
 
-	fp        uint64 // fingerprint, valid when the planner has a cache
-	collected bool   // Collect ran (and, with WithVerify, the replay passed)
+	// Memoization key (valid when hasKey): the workload cache key and kind.
+	// nocache marks streams that are never memoized (one-to-all replay).
+	ckey    uint64
+	ckind   uint8
+	hasKey  bool
+	nocache bool
+
+	collected bool // Collect ran (and, with WithVerify, the replay passed)
 	err       error
 	done      bool
 	total     int
 }
 
-// RouteStream begins streaming the Theorem 2 routing of pi. With
-// WithPlanCache, a memoized permutation short-circuits to an
-// already-materialized stream that replays the cached plan's slots and
-// holds no worker planner; otherwise a worker is checked out and planning
-// proceeds incrementally (see PlanStream for the ownership contract).
-// Validation errors are reported here, planning errors through Err/Collect.
+// RouteStream begins streaming the Theorem 2 routing of pi.
+//
+// Deprecated: use ExecuteStream with a Permutation workload, which also
+// carries a context for cancellation. RouteStream remains a thin wrapper
+// over it and behaves identically.
 func (p *Planner) RouteStream(pi []int) (*PlanStream, error) {
-	var fp uint64
-	if p.cache != nil {
-		fp = perms.Fingerprint(pi)
-		if plan, ok := p.cache.get(fp, pi); ok {
-			return &PlanStream{p: p, plan: plan, cached: true, fp: fp, total: plan.SlotCount()}, nil
-		}
-	}
-	worker := p.acquire()
-	cs, err := worker.StartPlan(pi)
-	if err != nil {
-		p.release(worker)
-		return nil, err
-	}
-	return &PlanStream{p: p, worker: worker, cs: cs, fp: fp, total: cs.FragmentCount()}, nil
+	return p.ExecuteStream(context.Background(), Permutation(pi))
 }
 
 // Next emits the next slot fragment; ok is false once the stream is
 // exhausted (the assembled plan is then available from Collect) or has
 // failed (see Err). Fragments alias the final plan's schedule storage and
 // must not be modified. Fragment granularity is one color class per
-// fragment — or one whole slot when the plan came from the cache; either
-// way the fragments of one slot tile it exactly, and Final marks each
-// slot's last fragment.
+// fragment for permutation workloads, one whole slot for h-relation
+// workloads and cache-hit replays; either way the fragments of one slot
+// tile it exactly, and Final marks each slot's last fragment.
 func (ps *PlanStream) Next() (StreamedSlot, bool) {
 	if ps.done || ps.err != nil {
 		return StreamedSlot{}, false
@@ -103,8 +117,8 @@ func (ps *PlanStream) Next() (StreamedSlot, bool) {
 }
 
 // Collect drains the remaining fragments and returns the finished plan,
-// byte identical to Route's result for the same permutation (golden-pinned
-// by the package tests). Like Route, a collected plan is memoized in the
+// byte identical to Execute's result for the same workload (golden-pinned
+// by the package tests). Like Execute, a collected plan is memoized in the
 // fingerprint cache. With WithVerify the completed schedule is replayed on
 // the simulator first. Collect on a Closed (abandoned) stream returns an
 // error: its worker planner is already back in the pool.
@@ -131,8 +145,8 @@ func (ps *PlanStream) Collect() (*Plan, error) {
 		return ps.plan, nil
 	}
 	if ps.cs == nil {
-		// Cache hit: the plan is already materialized (and was verified by
-		// whichever call originally planned it).
+		// Cache hit (or broadcast): the plan is already materialized (and
+		// was verified by whichever call originally planned it).
 		ps.replayIdx = ps.plan.SlotCount()
 		ps.finish()
 		return ps.plan, nil
@@ -167,26 +181,30 @@ func (ps *PlanStream) finish() {
 	ps.memoize()
 }
 
-// memoize caches a successfully completed plan like Route would — except a
-// Next-drained stream under WithVerify, whose plan has not been replayed
-// yet: cached plans must be as trustworthy as Route's, so memoization
+// memoize caches a successfully completed plan like Execute would — except
+// a Next-drained stream under WithVerify, whose plan has not been replayed
+// yet: cached plans must be as trustworthy as Execute's, so memoization
 // waits for the Collect that performs the replay.
 func (ps *PlanStream) memoize() {
+	if ps.p.cache == nil || !ps.hasKey || ps.nocache || ps.cached {
+		return
+	}
 	verifiedEnough := !ps.p.opts.Verify || ps.collected
-	if ps.err == nil && ps.plan != nil && !ps.cached && verifiedEnough && ps.p.cache != nil {
-		ps.p.cache.put(ps.fp, ps.plan.Pi, ps.plan)
+	if ps.err == nil && ps.plan != nil && verifiedEnough {
+		ps.p.cache.put(ps.ckey, ps.ckind, cacheIdentFor(ps.ckind, ps.plan), ps.plan)
 	}
 }
 
-// Err returns the stream's sticky planning error, if any.
+// Err returns the stream's sticky planning error, if any — including the
+// context error when the stream's ctx was cancelled mid-flight.
 func (ps *PlanStream) Err() error { return ps.err }
 
 // Cached reports whether the stream replays a fingerprint-cache hit rather
 // than planning incrementally.
 func (ps *PlanStream) Cached() bool { return ps.cached }
 
-// SlotCount returns the number of slots of the final schedule,
-// OptimalSlots(d, g), known before any fragment is produced.
+// SlotCount returns the number of slots of the final schedule, known before
+// any fragment is produced.
 func (ps *PlanStream) SlotCount() int {
 	if ps.cs != nil {
 		return ps.cs.SlotCount()
