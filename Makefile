@@ -3,7 +3,7 @@
 
 DATE := $(shell date +%F)
 
-.PHONY: build test vet race tier1 bench bench-smoke alloc-guard serve-smoke
+.PHONY: build test vet race tier1 bench bench-smoke alloc-guard serve-smoke cluster-smoke
 
 build:
 	go build ./...
@@ -18,7 +18,7 @@ vet:
 tier1: build vet test
 
 race:
-	go test -race . ./internal/service/... ./cmd/popsserved
+	go test -race . ./internal/service/... ./internal/cluster/... ./cmd/popsserved ./cmd/popsproxy
 
 # End-to-end serving smoke: start popsserved on an ephemeral port, route a
 # permutation through pops.ServiceClient, and assert the second call is
@@ -30,6 +30,15 @@ race:
 # when the identical relation is streamed again.
 serve-smoke:
 	go test -run 'TestServeSmoke|TestServeSmokeStream' -count=1 -v ./cmd/popsserved
+
+# End-to-end cluster smoke: boot three in-process popsserved backends and a
+# popsproxy front door, drive a permutation trace through the unchanged
+# single-node client, kill one backend mid-trace, and assert zero failed
+# requests (the dead node is ejected, its keys fail over to the next ring
+# owner) plus a full-trace replay answered from the owning nodes' plan
+# caches. TestClusterSmokeStream repeats the exercise for /route/stream.
+cluster-smoke:
+	go test -run 'TestClusterSmoke' -count=1 -v ./cmd/popsproxy
 
 # Record a BENCH_<date>.json with the benchmark set the baselines use.
 # Override the output or note: make bench BENCH_OUT=BENCH_x.json BENCH_NOTE="..."

@@ -1,0 +1,34 @@
+package pops
+
+import "context"
+
+// Backend is the routing-service surface a caller plans against, abstracted
+// over fleet size: a single popsserved node (reached through ServiceClient)
+// and a popsproxy front door fanning the same requests out across many nodes
+// (internal/cluster's Proxy) implement the identical contract, so code
+// written against Backend cannot tell one machine from a fleet.
+//
+// The methods mirror the wire endpoints: Execute is POST /route for one
+// workload, ExecuteStream is POST /route/stream (the returned stream must be
+// Closed), Slots is GET /slots, Stats is GET /stats, and Healthz is
+// GET /healthz. Implementations are safe for concurrent use.
+type Backend interface {
+	// Execute plans one workload on POPS(d, g). Workload planning failures
+	// are returned as errors, mirroring ServiceClient.Execute.
+	Execute(ctx context.Context, d, g int, w Workload) (*ServicePlan, error)
+	// ExecuteStream opens a slot stream for one workload. The caller must
+	// Close the returned stream.
+	ExecuteStream(ctx context.Context, d, g int, w Workload) (*ServiceStream, error)
+	// Slots returns the Theorem 2 slot count for POPS(d, g).
+	Slots(ctx context.Context, d, g int) (int, error)
+	// Stats snapshots the backend's counters. A fleet backend aggregates
+	// per-node stats and lists each node under StatsResponse.Backends.
+	Stats(ctx context.Context) (*ServiceStats, error)
+	// Healthz reports liveness: nil while the backend admits requests. A
+	// fleet backend is live while at least one node is.
+	Healthz(ctx context.Context) error
+}
+
+// ServiceClient speaks the wire protocol against one node; internal/cluster
+// asserts the same for its fleet proxy.
+var _ Backend = (*ServiceClient)(nil)

@@ -191,17 +191,17 @@ func (c *ServiceClient) DoStream(ctx context.Context, req *ServiceRouteRequest) 
 		return nil, fmt.Errorf("pops: service request /route/stream: %w", err)
 	}
 	if resp.StatusCode != http.StatusOK {
-		defer resp.Body.Close()
+		defer drainClose(resp.Body)
 		return nil, fmt.Errorf("pops: service /route/stream: %s", readError(resp))
 	}
 	st := &ServiceStream{body: resp.Body, dec: json.NewDecoder(resp.Body)}
 	var rec wire.StreamRecord
 	if err := st.dec.Decode(&rec); err != nil {
-		resp.Body.Close()
+		drainClose(resp.Body)
 		return nil, fmt.Errorf("pops: decoding stream meta: %w", err)
 	}
 	if rec.Type != "meta" || rec.Meta == nil {
-		resp.Body.Close()
+		drainClose(resp.Body)
 		if rec.Type == "error" {
 			return nil, fmt.Errorf("pops: service: %s", rec.Error)
 		}
@@ -291,7 +291,7 @@ func (c *ServiceClient) Healthz(ctx context.Context) error {
 	if err != nil {
 		return fmt.Errorf("pops: service health check: %w", err)
 	}
-	defer resp.Body.Close()
+	defer drainClose(resp.Body)
 	if resp.StatusCode != http.StatusOK {
 		return fmt.Errorf("pops: service unhealthy: %s", readError(resp))
 	}
@@ -320,7 +320,11 @@ func (c *ServiceClient) roundTrip(req *http.Request, out any) error {
 	if err != nil {
 		return fmt.Errorf("pops: service request %s: %w", req.URL.Path, err)
 	}
-	defer resp.Body.Close()
+	// Every exit drains the remaining body (bounded) before closing: a body
+	// closed with bytes left tears the keep-alive connection down, so error
+	// paths — non-2xx answers, truncated JSON — would otherwise leak pooled
+	// connections exactly when a failover layer is retrying hardest.
+	defer drainClose(resp.Body)
 	if resp.StatusCode != http.StatusOK {
 		return fmt.Errorf("pops: service %s: %s", req.URL.Path, readError(resp))
 	}
@@ -328,6 +332,14 @@ func (c *ServiceClient) roundTrip(req *http.Request, out any) error {
 		return fmt.Errorf("pops: decoding service %s response: %w", req.URL.Path, err)
 	}
 	return nil
+}
+
+// drainClose discards what is left of a response body (bounded, so a huge
+// error page cannot stall the caller) and closes it, returning the
+// keep-alive connection to the transport's pool instead of tearing it down.
+func drainClose(body io.ReadCloser) {
+	_, _ = io.Copy(io.Discard, io.LimitReader(body, 64<<10))
+	body.Close()
 }
 
 // readError summarizes a non-200 response: status plus the first line of the

@@ -15,7 +15,8 @@
 // pops.ServiceClient for the Go client. SIGINT/SIGTERM trigger graceful
 // shutdown: the listener stops, and in-flight micro-batches AND open slot
 // streams drain before the process exits (connections are force-closed if
-// they outlive -drain).
+// they outlive -drain-timeout, so a wedged stream cannot hold the process
+// open forever — cluster rolling restarts rely on this bound).
 //
 // Usage:
 //
@@ -60,14 +61,22 @@ func run(ctx context.Context, args []string, stdout io.Writer, ready chan<- net.
 	fs := flag.NewFlagSet("popsserved", flag.ContinueOnError)
 	var (
 		addr       = fs.String("addr", ":8714", "listen address")
+		name       = fs.String("name", "", "node identity reported in /stats (default: the listen address)")
 		batch      = fs.Int("batch", 32, "micro-batch flush size per shard")
 		batchDelay = fs.Duration("batch-delay", time.Millisecond, "micro-batch flush deadline")
 		cache      = fs.Int("cache", 1024, "per-shard plan cache entries (0 disables)")
 		maxShards  = fs.Int("max-shards", 64, "live planner shards (LRU bound)")
 		par        = fs.Int("parallelism", 0, "workers per shard batch (0 = GOMAXPROCS)")
 		verify     = fs.Bool("verify", false, "replay every schedule on the simulator before serving it")
-		drainWait  = fs.Duration("drain", 10*time.Second, "graceful shutdown deadline for open connections")
+		drainWait  time.Duration
 	)
+	// -drain-timeout bounds graceful shutdown: a wedged connection — a
+	// stream consumer that stopped reading, a request body that never
+	// finishes — is force-closed at the deadline so cluster rolling
+	// restarts cannot hang on one stuck peer. -drain is the original
+	// spelling, kept as an alias.
+	fs.DurationVar(&drainWait, "drain-timeout", 10*time.Second, "graceful shutdown deadline for open connections")
+	fs.DurationVar(&drainWait, "drain", 10*time.Second, "alias for -drain-timeout")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -83,18 +92,22 @@ func run(ctx context.Context, args []string, stdout io.Writer, ready chan<- net.
 	if cacheSize <= 0 {
 		cacheSize = -1 // Config: negative disables, zero means default
 	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	nodeName := *name
+	if nodeName == "" {
+		nodeName = "popsserved@" + ln.Addr().String()
+	}
 	svc := service.New(service.Config{
+		Name:           nodeName,
 		MaxShards:      *maxShards,
 		BatchSize:      *batch,
 		BatchDelay:     *batchDelay,
 		CacheSize:      cacheSize,
 		PlannerOptions: opts,
 	})
-
-	ln, err := net.Listen("tcp", *addr)
-	if err != nil {
-		return err
-	}
 	srv := &http.Server{Handler: svc.Handler()}
 	fmt.Fprintf(stdout, "popsserved: listening on %s (batch=%d delay=%s cache=%d shards≤%d)\n",
 		ln.Addr(), *batch, *batchDelay, *cache, *maxShards)
@@ -118,7 +131,7 @@ func run(ctx context.Context, args []string, stdout io.Writer, ready chan<- net.
 	// drain deadline (e.g. a stream consumer that stopped reading), it is
 	// force-closed so svc.Close cannot block on its stream forever.
 	fmt.Fprintln(stdout, "popsserved: shutting down")
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drainWait)
 	defer cancel()
 	shutdownErr := srv.Shutdown(shutdownCtx)
 	if shutdownErr != nil {

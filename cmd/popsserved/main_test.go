@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -405,6 +406,50 @@ func TestGracefulDrainFinishesStreams(t *testing.T) {
 		}
 	case <-time.After(15 * time.Second):
 		t.Fatal("server did not exit after draining the stream")
+	}
+}
+
+// TestDrainTimeoutBoundsWedgedConnection pins the -drain-timeout contract:
+// a connection that can never finish — here a request whose body never
+// arrives — must not hold graceful shutdown open past the deadline. The
+// server force-closes it, exits, and reports the blown deadline.
+func TestDrainTimeoutBoundsWedgedConnection(t *testing.T) {
+	addr, cancel, done := startServer(t, "-drain-timeout", "300ms")
+
+	// Wedge a connection: claim a large body, send one byte, go silent. The
+	// handler blocks decoding the request body, keeping the connection
+	// active through shutdown.
+	conn, err := net.DialTimeout("tcp", addr.String(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	fmt.Fprintf(conn, "POST /route HTTP/1.1\r\nHost: popsserved\r\nContent-Type: application/json\r\nContent-Length: 4096\r\n\r\n{")
+	time.Sleep(200 * time.Millisecond) // let the request reach the handler
+
+	start := time.Now()
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("shutdown with a wedged connection returned %v, want the blown drain deadline", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("wedged connection held shutdown past the drain deadline")
+	}
+	if waited := time.Since(start); waited < 250*time.Millisecond {
+		t.Fatalf("server exited after %s, before the 300ms drain deadline", waited)
+	}
+
+	// The force-close must reach the wedged peer: its next read fails.
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := io.ReadFull(conn, buf); err == nil {
+		// A byte may arrive if the server wrote an error response before
+		// closing; the connection must still be torn down right after.
+		if _, err := io.Copy(io.Discard, conn); err == nil {
+			t.Log("server wrote a response before closing the wedged connection")
+		}
 	}
 }
 

@@ -1,0 +1,362 @@
+// Package cluster is the POPS front door: a consistent-hash fan-out of
+// routing workloads across a fleet of popsserved backends, the subsystem
+// behind cmd/popsproxy.
+//
+// One process of the sharded planner service (internal/service) caps out at
+// one machine's cores. The Proxy scales the same wire protocol horizontally:
+// each request is placed on a consistent-hash ring keyed by
+// (d, g, WorkloadFingerprint), so a replayed workload — or a duplicate one
+// in flight — always lands on the backend that already owns its
+// materialized plan, keeping every node's shard LRU and fingerprint plan
+// cache hot (shape- and content-affine placement). A background health
+// checker probes every backend's GET /healthz, ejecting nodes after
+// consecutive failures and re-admitting them on recovery; placement walks
+// ring successors past ejected nodes, so only the keys of a dead backend
+// move. Connection errors fail over to the next ring owner with bounded
+// backoff — but only for idempotent work: a slot stream that has already
+// delivered records surfaces the error instead of replaying.
+//
+// The Proxy implements pops.Backend, the same contract pops.ServiceClient
+// satisfies against a single node — a caller cannot tell one machine from a
+// fleet — and Handler exposes the identical HTTP surface (POST /route,
+// POST /route/stream re-framed chunk by chunk without buffering whole
+// plans, GET /slots, GET /stats aggregated across the fleet, GET /healthz),
+// so pops.ServiceClient pointed at a popsproxy works unchanged.
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pops"
+	"pops/internal/wire"
+)
+
+// Config tunes the proxy. Backends is required; the zero value of every
+// other field selects the default noted on it.
+type Config struct {
+	// Backends are the popsserved base URLs (e.g. "http://10.0.0.1:8714")
+	// forming the fleet. At least one is required.
+	Backends []string
+	// Replicas is the number of virtual nodes per backend on the hash ring.
+	// Default 64.
+	Replicas int
+	// HealthInterval is the period of the background health checker.
+	// Default 1s.
+	HealthInterval time.Duration
+	// HealthTimeout bounds one health probe. Default 2s.
+	HealthTimeout time.Duration
+	// FailAfter is the number of consecutive failed probes that ejects a
+	// backend from placement (a connection error on live traffic ejects
+	// immediately). One successful probe re-admits it. Default 2.
+	FailAfter int
+	// Retries bounds failover: a request that hits a connection error is
+	// retried on up to Retries further ring owners. Default 2.
+	Retries int
+	// RetryBackoff is the pause before the first failover attempt, doubled
+	// per further attempt. Default 10ms.
+	RetryBackoff time.Duration
+	// Client is the HTTP client shared by placement traffic and health
+	// probes. Default: a dedicated client with a pooled transport.
+	Client *http.Client
+}
+
+func (c Config) withDefaults() Config {
+	if c.Replicas <= 0 {
+		c.Replicas = 64
+	}
+	if c.HealthInterval <= 0 {
+		c.HealthInterval = time.Second
+	}
+	if c.HealthTimeout <= 0 {
+		c.HealthTimeout = 2 * time.Second
+	}
+	if c.FailAfter <= 0 {
+		c.FailAfter = 2
+	}
+	if c.Retries < 0 {
+		c.Retries = 0
+	} else if c.Retries == 0 {
+		c.Retries = 2
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 10 * time.Millisecond
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 128}}
+	}
+	return c
+}
+
+// ErrClosed is returned for requests admitted after Close started.
+var ErrClosed = errors.New("cluster: shutting down")
+
+// backend is one popsserved node: its ring identity, a ServiceClient for
+// typed calls, the proxy's health verdict, and per-backend counters.
+type backend struct {
+	id     string // base URL, the ring identity
+	client *pops.ServiceClient
+
+	healthy atomic.Bool
+	fails   atomic.Int32 // consecutive failed probes
+
+	requests  atomic.Uint64 // requests the proxy placed here
+	streams   atomic.Uint64 // streams the proxy placed here
+	failovers atomic.Uint64 // requests that left here for the next owner
+	errors    atomic.Uint64 // connection errors observed here
+}
+
+// markDown ejects the backend immediately (live-traffic connection error):
+// re-admission requires a fresh successful health probe.
+func (b *backend) markDown(failAfter int) {
+	b.fails.Store(int32(failAfter))
+	b.healthy.Store(false)
+}
+
+// Proxy is the cluster front door. Create one with New, mount Handler on an
+// HTTP server (or call the pops.Backend methods directly for an in-process
+// fleet client), and Close it on shutdown. All methods are safe for
+// concurrent use.
+type Proxy struct {
+	cfg      Config
+	backends []*backend
+	ring     *ring
+
+	closed     atomic.Bool
+	stop       chan struct{}
+	healthDone chan struct{}
+	inflight   sync.WaitGroup // in-flight proxied HTTP requests and streams
+}
+
+// Proxy answers for the fleet exactly as ServiceClient answers for one node.
+var _ pops.Backend = (*Proxy)(nil)
+
+// New builds a Proxy over cfg.Backends and starts its background health
+// checker. Backends start admitted; the first probe round (run immediately)
+// corrects the verdict for nodes that are already down.
+func New(cfg Config) (*Proxy, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Backends) == 0 {
+		return nil, errors.New("cluster: at least one backend is required")
+	}
+	seen := make(map[string]bool, len(cfg.Backends))
+	p := &Proxy{cfg: cfg, stop: make(chan struct{}), healthDone: make(chan struct{})}
+	ids := make([]string, 0, len(cfg.Backends))
+	for _, raw := range cfg.Backends {
+		u, err := url.Parse(raw)
+		if err != nil || u.Scheme == "" || u.Host == "" {
+			return nil, fmt.Errorf("cluster: backend %q is not an absolute URL", raw)
+		}
+		id := u.Scheme + "://" + u.Host
+		if seen[id] {
+			return nil, fmt.Errorf("cluster: duplicate backend %q", id)
+		}
+		seen[id] = true
+		b := &backend{id: id, client: pops.NewServiceClient(id, cfg.Client)}
+		b.healthy.Store(true)
+		p.backends = append(p.backends, b)
+		ids = append(ids, id)
+	}
+	p.ring = newRing(ids, cfg.Replicas)
+	go p.healthLoop()
+	return p, nil
+}
+
+// Close stops the health checker, stops admitting HTTP requests, and waits
+// for in-flight proxied requests and streams to finish — the drain half of
+// popsproxy's graceful shutdown, mirroring popsserved. Idempotent.
+func (p *Proxy) Close() {
+	if p.closed.CompareAndSwap(false, true) {
+		close(p.stop)
+	}
+	<-p.healthDone
+	p.inflight.Wait()
+}
+
+// healthLoop probes every backend each HealthInterval, ejecting after
+// FailAfter consecutive failures and re-admitting on the first success.
+func (p *Proxy) healthLoop() {
+	defer close(p.healthDone)
+	t := time.NewTicker(p.cfg.HealthInterval)
+	defer t.Stop()
+	p.probeAll()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-t.C:
+			p.probeAll()
+		}
+	}
+}
+
+// probeAll runs one concurrent health round across the fleet.
+func (p *Proxy) probeAll() {
+	var wg sync.WaitGroup
+	for _, b := range p.backends {
+		wg.Add(1)
+		go func(b *backend) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), p.cfg.HealthTimeout)
+			defer cancel()
+			if err := b.client.Healthz(ctx); err != nil {
+				if b.fails.Add(1) >= int32(p.cfg.FailAfter) {
+					b.healthy.Store(false)
+				}
+				return
+			}
+			b.fails.Store(0)
+			b.healthy.Store(true)
+		}(b)
+	}
+	wg.Wait()
+}
+
+// ownersFor resolves the failover chain of one placement key: the live ring
+// owners in successor order. If every backend is ejected the full ring order
+// is returned instead — placement degrades to "try them all" rather than
+// refusing traffic on a pessimistic health verdict.
+func (p *Proxy) ownersFor(key uint64) []*backend {
+	idx := p.ring.owners(key, p.ring.n, make([]int, 0, p.ring.n))
+	live := make([]*backend, 0, len(idx))
+	for _, i := range idx {
+		if p.backends[i].healthy.Load() {
+			live = append(live, p.backends[i])
+		}
+	}
+	if len(live) > 0 {
+		return live
+	}
+	all := make([]*backend, 0, len(idx))
+	for _, i := range idx {
+		all = append(all, p.backends[i])
+	}
+	return all
+}
+
+// isConnErr reports whether err is a transport-level failure — the backend
+// could not be reached or hung up before answering — as opposed to a
+// deterministic request- or plan-level error that every node would repeat.
+// Only connection errors are worth failing over.
+func isConnErr(err error) bool {
+	var ue *url.Error
+	return errors.As(err, &ue)
+}
+
+// tryOwners runs fn against each owner of key in failover order: the ring
+// owner first, then — after a doubling backoff, for connection errors only —
+// up to Retries further successors. A backend that fails a connection is
+// ejected immediately (markDown); the health loop re-admits it when its
+// /healthz recovers. Deterministic errors (bad requests, per-plan failures)
+// are returned from the first node that produced them.
+func tryOwners[T any](p *Proxy, ctx context.Context, key uint64, fn func(*backend) (T, error)) (T, error) {
+	var zero T
+	owners := p.ownersFor(key)
+	attempts := p.cfg.Retries + 1
+	if attempts > len(owners) {
+		attempts = len(owners)
+	}
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			backoff := p.cfg.RetryBackoff << uint(i-1)
+			select {
+			case <-time.After(backoff):
+			case <-ctx.Done():
+				return zero, ctx.Err()
+			}
+		}
+		b := owners[i]
+		v, err := fn(b)
+		if err == nil {
+			return v, nil
+		}
+		if ctx.Err() != nil {
+			return zero, ctx.Err()
+		}
+		if !isConnErr(err) {
+			return zero, err
+		}
+		b.errors.Add(1)
+		b.failovers.Add(1)
+		b.markDown(p.cfg.FailAfter)
+		lastErr = err
+	}
+	return zero, fmt.Errorf("cluster: all %d placement attempt(s) failed: %w", attempts, lastErr)
+}
+
+// Execute plans one workload on POPS(d, g) on the workload's ring owner,
+// failing over on connection errors (planning is pure, so a retry is
+// idempotent). It is the fleet form of pops.ServiceClient.Execute.
+func (p *Proxy) Execute(ctx context.Context, d, g int, w pops.Workload) (*pops.ServicePlan, error) {
+	if w == nil {
+		return nil, pops.ErrNilWorkload
+	}
+	key := placementKey(d, g, pops.WorkloadFingerprint(w))
+	return tryOwners(p, ctx, key, func(b *backend) (*pops.ServicePlan, error) {
+		b.requests.Add(1)
+		return b.client.Execute(ctx, d, g, w)
+	})
+}
+
+// ExecuteStream opens a slot stream on the workload's ring owner. Failover
+// covers stream admission only — a connection error while opening moves to
+// the next owner, but once records are flowing a failure surfaces through
+// the stream (delivered fragments cannot be replayed on another node).
+func (p *Proxy) ExecuteStream(ctx context.Context, d, g int, w pops.Workload) (*pops.ServiceStream, error) {
+	if w == nil {
+		return nil, pops.ErrNilWorkload
+	}
+	key := placementKey(d, g, pops.WorkloadFingerprint(w))
+	return tryOwners(p, ctx, key, func(b *backend) (*pops.ServiceStream, error) {
+		b.streams.Add(1)
+		b.requests.Add(1)
+		return b.client.ExecuteStream(ctx, d, g, w)
+	})
+}
+
+// Slots returns the Theorem 2 slot count for POPS(d, g). The answer is a
+// pure function of the shape, so any backend serves it; placement still
+// hashes the shape so repeated asks reuse one node's connection.
+func (p *Proxy) Slots(ctx context.Context, d, g int) (int, error) {
+	return tryOwners(p, ctx, placementKey(d, g, 0), func(b *backend) (int, error) {
+		return b.client.Slots(ctx, d, g)
+	})
+}
+
+// Healthz reports fleet liveness: nil while the proxy admits requests and
+// at least one backend is admitted to placement.
+func (p *Proxy) Healthz(ctx context.Context) error {
+	if p.closed.Load() {
+		return ErrClosed
+	}
+	for _, b := range p.backends {
+		if b.healthy.Load() {
+			return nil
+		}
+	}
+	return errors.New("cluster: no healthy backends")
+}
+
+// Backends snapshots the proxy-side view of every node: identity, health
+// verdict, and placement counters (no network round-trips).
+func (p *Proxy) Backends() []wire.BackendStats {
+	out := make([]wire.BackendStats, len(p.backends))
+	for i, b := range p.backends {
+		out[i] = wire.BackendStats{
+			ID:        b.id,
+			Healthy:   b.healthy.Load(),
+			Requests:  b.requests.Load(),
+			Streams:   b.streams.Load(),
+			Failovers: b.failovers.Load(),
+			Errors:    b.errors.Load(),
+		}
+	}
+	return out
+}

@@ -1,0 +1,269 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"pops"
+	"pops/internal/wire"
+)
+
+// maxRequestBody mirrors the backend bound (internal/service): the largest
+// sensible request is a batch of large permutations, far under this.
+const maxRequestBody = 64 << 20
+
+// Handler returns the proxy's HTTP surface — byte-compatible with a single
+// popsserved node, so clients move between one machine and a fleet by
+// changing a URL:
+//
+//	POST /route         placed on the workload's ring owner, failover on
+//	                    connection errors (planning is idempotent)
+//	POST /route/stream  placed the same way; backend NDJSON records are
+//	                    re-framed chunk by chunk, never buffering the plan
+//	GET  /slots         any owner (pure function of the shape)
+//	GET  /stats         fleet aggregate with per-backend breakdown
+//	GET  /healthz       "ok" while ≥1 backend is admitted to placement
+func (p *Proxy) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /route", p.handleRoute)
+	mux.HandleFunc("POST /route/stream", p.handleRouteStream)
+	mux.HandleFunc("GET /slots", p.handleSlots)
+	mux.HandleFunc("GET /stats", p.handleStats)
+	mux.HandleFunc("GET /healthz", p.handleHealthz)
+	return mux
+}
+
+// enter admits one proxied request into the drain group; it reports false —
+// and the caller answers 503 — once Close has started.
+func (p *Proxy) enter() bool {
+	p.inflight.Add(1)
+	if p.closed.Load() {
+		p.inflight.Done()
+		return false
+	}
+	return true
+}
+
+// requestKey reads just enough of a route request to place it: the shape
+// plus the workload fingerprint, computed exactly as the backends compute it
+// so proxy placement and backend caches agree. A batch is keyed by the fold
+// of its members' fingerprints — a replayed batch lands on the node that
+// planned it. Unknown workload kinds (a newer client behind an older proxy)
+// are keyed by shape alone and forwarded; the owning backend produces the
+// authoritative error or answer.
+func requestKey(req *wire.RouteRequest) uint64 {
+	switch req.Workload {
+	case "", wire.WorkloadPermutation:
+		if len(req.Pis) > 0 {
+			var fp uint64
+			for _, pi := range req.Pis {
+				fp = mix64(fp ^ pops.PermutationFingerprint(pi))
+			}
+			return placementKey(req.D, req.G, fp)
+		}
+		return placementKey(req.D, req.G, pops.PermutationFingerprint(req.Pi))
+	case wire.WorkloadHRelation:
+		reqs := make([]pops.Request, len(req.Requests))
+		for i, r := range req.Requests {
+			reqs[i] = pops.Request{Src: r.Src, Dst: r.Dst}
+		}
+		return placementKey(req.D, req.G, pops.WorkloadFingerprint(pops.HRelation(reqs)))
+	case wire.WorkloadAllToAll:
+		return placementKey(req.D, req.G, pops.WorkloadFingerprint(pops.AllToAll()))
+	case wire.WorkloadOneToAll:
+		return placementKey(req.D, req.G, pops.WorkloadFingerprint(pops.OneToAll(req.Speaker)))
+	default:
+		return placementKey(req.D, req.G, 0)
+	}
+}
+
+// forward posts body to path on the owners of key in failover order and
+// returns the first reachable backend's response (any status: non-2xx
+// answers are deterministic and are relayed, not retried). The caller owns
+// the response body.
+func (p *Proxy) forward(ctx context.Context, key uint64, path string, body []byte, stream bool) (*http.Response, error) {
+	return tryOwners(p, ctx, key, func(b *backend) (*http.Response, error) {
+		b.requests.Add(1)
+		if stream {
+			b.streams.Add(1)
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.id+path, bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		return p.cfg.Client.Do(req)
+	})
+}
+
+// forwardError maps a forwarding failure to the proxy's answer: a caller
+// hang-up stays silent, exhausted failover is 502.
+func forwardError(w http.ResponseWriter, ctx context.Context, err error) {
+	if ctx.Err() != nil {
+		return // the caller went away; nobody is reading the answer
+	}
+	http.Error(w, err.Error(), http.StatusBadGateway)
+}
+
+func (p *Proxy) handleRoute(w http.ResponseWriter, r *http.Request) {
+	if !p.enter() {
+		http.Error(w, ErrClosed.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	defer p.inflight.Done()
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxRequestBody))
+	if err != nil {
+		http.Error(w, "cluster: reading request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	var req wire.RouteRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		http.Error(w, "cluster: decoding request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	ctx := r.Context()
+	resp, err := p.forward(ctx, requestKey(&req), "/route", body, false)
+	if err != nil {
+		forwardError(w, ctx, err)
+		return
+	}
+	defer resp.Body.Close()
+	relayHeader(w, resp)
+	_, _ = io.Copy(w, resp.Body) // mid-copy failures mean the caller went away
+}
+
+// relayHeader copies the backend's content type and status through.
+func relayHeader(w http.ResponseWriter, resp *http.Response) {
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	w.WriteHeader(resp.StatusCode)
+}
+
+// handleRouteStream places a slot stream on its ring owner and re-frames the
+// backend's NDJSON records one line at a time: each complete line is written
+// and flushed as its own chunk, so the proxy adds one record of latency, not
+// one plan — nothing is buffered beyond the line in flight. Failover covers
+// stream admission only; once records have been relayed, a backend failure
+// becomes a wire "error" record (delivered fragments cannot be replayed).
+func (p *Proxy) handleRouteStream(w http.ResponseWriter, r *http.Request) {
+	if !p.enter() {
+		http.Error(w, ErrClosed.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	defer p.inflight.Done()
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxRequestBody))
+	if err != nil {
+		http.Error(w, "cluster: reading request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	var req wire.RouteRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		http.Error(w, "cluster: decoding request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	ctx := r.Context()
+	resp, err := p.forward(ctx, requestKey(&req), "/route/stream", body, true)
+	if err != nil {
+		forwardError(w, ctx, err)
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		relayHeader(w, resp)
+		_, _ = io.Copy(w, resp.Body)
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	br := bufio.NewReader(resp.Body)
+	for {
+		line, err := br.ReadBytes('\n')
+		// Relay only complete records: a partial line truncated by a backend
+		// failure is dropped, and the failure surfaces as an error record.
+		if len(line) > 0 && line[len(line)-1] == '\n' {
+			if _, werr := w.Write(line); werr != nil {
+				return // the caller went away; the deferred Close hangs up upstream
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+		if err == io.EOF {
+			return
+		}
+		if err != nil {
+			if ctx.Err() != nil {
+				return
+			}
+			rec, _ := json.Marshal(wire.StreamRecord{Type: "error", Error: fmt.Sprintf("cluster: backend stream: %v", err)})
+			if _, werr := w.Write(append(rec, '\n')); werr == nil && flusher != nil {
+				flusher.Flush()
+			}
+			return
+		}
+	}
+}
+
+func (p *Proxy) handleSlots(w http.ResponseWriter, r *http.Request) {
+	if !p.enter() {
+		http.Error(w, ErrClosed.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	defer p.inflight.Done()
+	q := r.URL.Query()
+	d, errD := strconv.Atoi(q.Get("d"))
+	g, errG := strconv.Atoi(q.Get("g"))
+	if errD != nil || errG != nil {
+		http.Error(w, "cluster: /slots needs integer query parameters d and g", http.StatusBadRequest)
+		return
+	}
+	ctx := r.Context()
+	slots, err := p.Slots(ctx, d, g)
+	if err != nil {
+		if isConnErr(err) || ctx.Err() != nil {
+			forwardError(w, ctx, err)
+			return
+		}
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, wire.SlotsResponse{D: d, G: g, Slots: slots})
+}
+
+func (p *Proxy) handleStats(w http.ResponseWriter, r *http.Request) {
+	if !p.enter() {
+		http.Error(w, ErrClosed.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	defer p.inflight.Done()
+	stats, err := p.Stats(r.Context())
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	writeJSON(w, stats)
+}
+
+func (p *Proxy) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if err := p.Healthz(r.Context()); err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,104 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringIDs(n int) []string {
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("http://10.0.0.%d:8714", i+1)
+	}
+	return ids
+}
+
+// TestRingOwnersDistinctAndComplete pins the failover chain contract: for
+// any key, owners returns every backend exactly once, in a deterministic
+// order led by the key's ring owner.
+func TestRingOwnersDistinctAndComplete(t *testing.T) {
+	const n = 5
+	r := newRing(ringIDs(n), 64)
+	for key := uint64(0); key < 1000; key++ {
+		chain := r.owners(mix64(key), n, nil)
+		if len(chain) != n {
+			t.Fatalf("key %d: %d owners, want %d", key, len(chain), n)
+		}
+		seen := make(map[int]bool)
+		for _, b := range chain {
+			if b < 0 || b >= n || seen[b] {
+				t.Fatalf("key %d: invalid or duplicate backend %d in chain %v", key, b, chain)
+			}
+			seen[b] = true
+		}
+		again := r.owners(mix64(key), n, nil)
+		for i := range chain {
+			if chain[i] != again[i] {
+				t.Fatalf("key %d: owner chain not deterministic: %v vs %v", key, chain, again)
+			}
+		}
+	}
+}
+
+// TestRingBalance checks the virtual nodes spread keys roughly evenly: with
+// 64 replicas per backend no node should own more than ~2.5x its fair share.
+func TestRingBalance(t *testing.T) {
+	const n, keys = 4, 20000
+	r := newRing(ringIDs(n), 64)
+	counts := make([]int, n)
+	buf := make([]int, 0, 1)
+	for k := 0; k < keys; k++ {
+		buf = r.owners(mix64(uint64(k)), 1, buf[:0])
+		counts[buf[0]]++
+	}
+	fair := keys / n
+	for b, c := range counts {
+		if c < fair*2/5 || c > fair*5/2 {
+			t.Fatalf("backend %d owns %d of %d keys (fair share %d): %v", b, c, keys, fair, counts)
+		}
+	}
+}
+
+// TestRingStabilityUnderEjection is the consistent-hashing property the
+// cluster's cache affinity rests on: skipping one backend (its ejection)
+// must not move any key that backend did not own — the survivor owners stay
+// exactly where they were, so their plan caches stay hot.
+func TestRingStabilityUnderEjection(t *testing.T) {
+	const n = 4
+	r := newRing(ringIDs(n), 64)
+	const ejected = 2
+	for k := 0; k < 5000; k++ {
+		chain := r.owners(mix64(uint64(k)), n, nil)
+		if chain[0] == ejected {
+			continue // this key's owner died; it may move (to chain[1])
+		}
+		// Walking past the ejected backend must preserve the first live owner.
+		for _, b := range chain {
+			if b == ejected {
+				continue
+			}
+			if b != chain[0] {
+				t.Fatalf("key %d moved from %d to %d after ejecting %d", k, chain[0], b, ejected)
+			}
+			break
+		}
+	}
+}
+
+// TestPlacementKeyAffinity pins that placement is deterministic in
+// (d, g, fingerprint) and that each coordinate matters.
+func TestPlacementKeyAffinity(t *testing.T) {
+	if placementKey(8, 16, 42) != placementKey(8, 16, 42) {
+		t.Fatal("placementKey is not deterministic")
+	}
+	base := placementKey(8, 16, 42)
+	if placementKey(16, 8, 42) == base {
+		t.Fatal("swapping d and g did not move the key")
+	}
+	if placementKey(8, 16, 43) == base {
+		t.Fatal("changing the fingerprint did not move the key")
+	}
+	if placementKey(4, 16, 42) == base {
+		t.Fatal("changing d did not move the key")
+	}
+}

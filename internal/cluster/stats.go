@@ -1,0 +1,82 @@
+package cluster
+
+import (
+	"context"
+	"sync"
+
+	"pops/internal/wire"
+)
+
+// Stats aggregates GET /stats across the fleet: every backend is snapshot
+// concurrently, counters are summed, the latency and time-to-first-slot
+// histograms are merged bucket-wise (all nodes share the power-of-two
+// bucket schema), shard entries are concatenated, and each node appears
+// under Backends with the proxy's placement counters, its health verdict,
+// and its full self-reported snapshot (nil if it was unreachable). The
+// result is a wire.StatsResponse, so a ServiceClient pointed at the proxy
+// decodes it exactly as it would a single node's.
+func (p *Proxy) Stats(ctx context.Context) (*wire.StatsResponse, error) {
+	snaps := make([]*wire.StatsResponse, len(p.backends))
+	var wg sync.WaitGroup
+	for i, b := range p.backends {
+		wg.Add(1)
+		go func(i int, b *backend) {
+			defer wg.Done()
+			if s, err := b.client.Stats(ctx); err == nil {
+				snaps[i] = s
+			}
+		}(i, b)
+	}
+	wg.Wait()
+
+	agg := &wire.StatsResponse{Server: "popsproxy", Backends: p.Backends()}
+	for i := range p.backends {
+		s := snaps[i]
+		if s == nil {
+			continue // unreachable: its Backends entry still records identity
+		}
+		bs := &agg.Backends[i]
+		bs.Server = s.Server
+		bs.CacheHits = s.CacheHits
+		bs.CacheMisses = s.CacheMisses
+		bs.Stats = s
+
+		agg.ShardCount += s.ShardCount
+		agg.MaxShards += s.MaxShards
+		agg.EvictedShards += s.EvictedShards
+		agg.Requests += s.Requests
+		agg.Streams += s.Streams
+		agg.StreamedSlots += s.StreamedSlots
+		agg.CacheHits += s.CacheHits
+		agg.CacheMisses += s.CacheMisses
+		agg.Latency = mergeBuckets(agg.Latency, s.Latency)
+		agg.TimeToFirstSlot = mergeBuckets(agg.TimeToFirstSlot, s.TimeToFirstSlot)
+		agg.Shards = append(agg.Shards, s.Shards...)
+	}
+	return agg, nil
+}
+
+// mergeBuckets sums src into dst bucket-wise. Every node emits the same
+// power-of-two schema, so buckets align by index; a node speaking a
+// different schema (mid-upgrade) contributes its counts to the closest
+// bound instead of being dropped.
+func mergeBuckets(dst, src []wire.LatencyBucket) []wire.LatencyBucket {
+	if len(dst) == 0 {
+		return append(dst, src...)
+	}
+	for i, b := range src {
+		if i < len(dst) && dst[i].LEMicros == b.LEMicros {
+			dst[i].Count += b.Count
+			continue
+		}
+		j := len(dst) - 1 // the unbounded overflow bucket
+		for k, d := range dst {
+			if d.LEMicros >= b.LEMicros && b.LEMicros != 0 {
+				j = k
+				break
+			}
+		}
+		dst[j].Count += b.Count
+	}
+	return dst
+}

@@ -45,6 +45,10 @@ import (
 // Config tunes the service. The zero value selects the defaults noted on
 // each field.
 type Config struct {
+	// Name identifies this node in GET /stats (the Server field), so a
+	// fleet aggregator can attribute shards and counters to machines.
+	// Default "popsserved".
+	Name string
 	// MaxShards bounds the number of live planner shards (distinct POPS
 	// shapes) via LRU eviction. Default 64.
 	MaxShards int
@@ -63,6 +67,9 @@ type Config struct {
 }
 
 func (c Config) withDefaults() Config {
+	if c.Name == "" {
+		c.Name = "popsserved"
+	}
 	if c.MaxShards <= 0 {
 		c.MaxShards = 64
 	}
@@ -293,6 +300,7 @@ func (s *Service) Stats() wire.StatsResponse {
 	s.mu.Unlock()
 
 	resp := wire.StatsResponse{
+		Server:          s.cfg.Name,
 		ShardCount:      len(shards),
 		MaxShards:       s.cfg.MaxShards,
 		EvictedShards:   s.evictedShards.Load(),

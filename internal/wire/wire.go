@@ -185,7 +185,16 @@ type LatencyBucket struct {
 
 // StatsResponse answers GET /stats: service-wide counters plus one entry per
 // live shard. CacheHits/CacheMisses aggregate over live and evicted shards.
+//
+// A single popsserved node fills Server with its own identity and leaves
+// Backends empty. A popsproxy front door answers the same endpoint with the
+// fleet aggregate — counters summed, latency histograms merged bucket-wise,
+// shard entries concatenated — and one Backends entry per node, so a caller
+// reading /stats cannot tell one machine from a fleet unless it asks.
 type StatsResponse struct {
+	// Server identifies the answering node (its -name flag or listen
+	// address); a proxy reports "popsproxy".
+	Server        string          `json:"server,omitempty"`
 	ShardCount    int             `json:"shard_count"`
 	MaxShards     int             `json:"max_shards"`
 	EvictedShards uint64          `json:"evicted_shards"`
@@ -200,4 +209,32 @@ type StatsResponse struct {
 	// It is the measured signal for the per-shape cost model (see ROADMAP).
 	TimeToFirstSlot []LatencyBucket `json:"time_to_first_slot"`
 	Shards          []ShardStats    `json:"shards"`
+	// Backends is the per-node breakdown of a fleet aggregate: one entry
+	// per configured backend, present only when a proxy answered.
+	Backends []BackendStats `json:"backends,omitempty"`
+}
+
+// BackendStats describes one popsserved node behind a popsproxy front door:
+// the proxy's own per-backend counters plus the node's self-reported /stats
+// snapshot (nil when the node was unreachable at snapshot time).
+type BackendStats struct {
+	// ID is the backend's base URL on the proxy's ring.
+	ID string `json:"id"`
+	// Server echoes the node's self-reported identity (StatsResponse.Server).
+	Server string `json:"server,omitempty"`
+	// Healthy reports the proxy's current health verdict for the node.
+	Healthy bool `json:"healthy"`
+	// Requests and Streams count what the proxy placed on this node.
+	Requests uint64 `json:"requests"`
+	Streams  uint64 `json:"streams"`
+	// Failovers counts requests that left this node for the next ring owner
+	// after a connection error; Errors counts connection errors observed.
+	Failovers uint64 `json:"failovers"`
+	Errors    uint64 `json:"errors"`
+	// CacheHits/CacheMisses echo the node's own totals, so per-node cache
+	// affinity is visible without fetching every node's /stats.
+	CacheHits   uint64 `json:"cache_hits"`
+	CacheMisses uint64 `json:"cache_misses"`
+	// Stats is the node's full /stats snapshot; nil if unreachable.
+	Stats *StatsResponse `json:"stats,omitempty"`
 }
