@@ -3,7 +3,7 @@
 
 DATE := $(shell date +%F)
 
-.PHONY: build test vet race tier1 bench bench-smoke alloc-guard serve-smoke cluster-smoke
+.PHONY: build test vet race tier1 bench bench-smoke alloc-guard serve-smoke cluster-smoke fault-smoke
 
 build:
 	go build ./...
@@ -18,7 +18,7 @@ vet:
 tier1: build vet test
 
 race:
-	go test -race . ./internal/service/... ./internal/cluster/... ./cmd/popsserved ./cmd/popsproxy
+	go test -race . ./internal/popsnet ./internal/service/... ./internal/cluster/... ./cmd/popsserved ./cmd/popsproxy
 
 # End-to-end serving smoke: start popsserved on an ephemeral port, route a
 # permutation through pops.ServiceClient, and assert the second call is
@@ -39,6 +39,14 @@ serve-smoke:
 # caches. TestClusterSmokeStream repeats the exercise for /route/stream.
 cluster-smoke:
 	go test -run 'TestClusterSmoke' -count=1 -v ./cmd/popsproxy
+
+# End-to-end fault-tolerance smoke: round-trip a FaultyPermutation workload
+# through a live popsserved, verify the served schedule on the fault-injected
+# simulator (full delivery, zero dead-coupler use), assert the replay is a
+# cache hit and the /stats fault counters moved, and assert a dead-group
+# request comes back as a typed *pops.UnroutableError across the wire.
+fault-smoke:
+	go test -run 'TestFaultSmoke' -count=1 -v ./cmd/popsserved
 
 # Record a BENCH_<date>.json with the benchmark set the baselines use.
 # Override the output or note: make bench BENCH_OUT=BENCH_x.json BENCH_NOTE="..."

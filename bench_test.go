@@ -456,3 +456,28 @@ func BenchmarkBroadcast(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkFaultyPermutation measures fault-aware planning across the bench
+// shapes: the Theorem 2 coloring plus the repair of every color class touched
+// by the seeded four-coupler dead set (see TestFaultyPlanSlotBound for the
+// slot-count budget these plans stay within).
+func BenchmarkFaultyPermutation(b *testing.B) {
+	ctx := context.Background()
+	for _, s := range benchShapes() {
+		rng := rand.New(rand.NewSource(int64(s.d*31 + s.g)))
+		pi := perms.Random(s.d*s.g, rng)
+		fs := seededFaults(s.g, rng)
+		p, err := NewPlanner(s.d, s.g)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("d=%d/g=%d/n=%d", s.d, s.g, s.d*s.g), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := p.Execute(ctx, FaultyPermutation(pi, fs)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -98,9 +98,33 @@ func (c *ServiceClient) doOne(ctx context.Context, req *ServiceRouteRequest) (*S
 	}
 	plan := &resp.Plans[0]
 	if plan.Error != "" {
+		if u := plan.Unroutable; u != nil {
+			// Reconstruct the typed verdict, so errors.As works across the
+			// wire exactly as it does in-process.
+			nw, err := NewNetwork(resp.D, resp.G)
+			if err == nil {
+				return nil, &UnroutableError{
+					Net: nw, Packet: u.Packet, SrcGroup: u.SrcGroup, DstGroup: u.DstGroup,
+					SeveredSrc: u.SeveredSrc, SeveredDst: u.SeveredDst,
+				}
+			}
+		}
 		return nil, fmt.Errorf("pops: service: %s", plan.Error)
 	}
 	return plan, nil
+}
+
+// wireFaults converts a FaultSet to its wire form; nil for an empty set, so
+// fault-free requests serialize without the field.
+func wireFaults(fs FaultSet) *wire.FaultSet {
+	if fs.Empty() {
+		return nil
+	}
+	out := &wire.FaultSet{Groups: fs.Groups}
+	for _, c := range fs.Couplers {
+		out.Couplers = append(out.Couplers, wire.Coupler{B: c.B, A: c.A})
+	}
+	return out
 }
 
 // workloadRouteRequest serializes a Workload into the tagged wire schema.
@@ -120,6 +144,8 @@ func workloadRouteRequest(d, g int, w Workload) (*ServiceRouteRequest, error) {
 		return &ServiceRouteRequest{D: d, G: g, Workload: WorkloadAllToAll}, nil
 	case oneToAllWorkload:
 		return &ServiceRouteRequest{D: d, G: g, Workload: WorkloadOneToAll, Speaker: w.speaker}, nil
+	case faultyWorkload:
+		return &ServiceRouteRequest{D: d, G: g, Workload: WorkloadFaultyPermutation, Pi: w.pi, Faults: wireFaults(w.faults)}, nil
 	default:
 		return nil, fmt.Errorf("pops: unknown workload type %T", w)
 	}

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"pops"
+	"pops/internal/popsnet"
 	"pops/internal/wire"
 )
 
@@ -476,4 +477,102 @@ type testWriter struct{ t *testing.T }
 func (w testWriter) Write(p []byte) (int, error) {
 	w.t.Logf("%s", p)
 	return len(p), nil
+}
+
+// TestFaultSmoke is the end-to-end fault-tolerance smoke `make fault-smoke`
+// runs: round-trip a FaultyPermutation workload through a live popsserved,
+// verify the returned schedule on the fault-injected simulator (full delivery,
+// zero dead-coupler use), replay it for a cache hit, read the fault counters
+// off /stats, and assert a dead-group request comes back as a typed
+// *pops.UnroutableError across the wire.
+func TestFaultSmoke(t *testing.T) {
+	addr, cancel, done := startServer(t, "-batch-delay", "200us")
+	ctx := context.Background()
+	client := pops.NewServiceClient("http://"+addr.String(), nil)
+
+	const d, g = 3, 4
+	pi := pops.VectorReversal(d * g)
+	faults := &wire.FaultSet{Couplers: []wire.Coupler{{B: 1, A: 2}, {B: 3, A: 0}, {B: 0, A: 0}}}
+
+	resp, err := client.Do(ctx, &pops.ServiceRouteRequest{
+		D: d, G: g, Workload: wire.WorkloadFaultyPermutation,
+		Pi: pi, Faults: faults, IncludeSchedule: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Plans) != 1 || resp.Plans[0].Error != "" {
+		t.Fatalf("route response: %+v", resp.Plans)
+	}
+	plan := resp.Plans[0]
+	if plan.Workload != wire.WorkloadFaultyPermutation || plan.Strategy != pops.StrategyFaulty {
+		t.Fatalf("plan tags: workload=%q strategy=%q", plan.Workload, plan.Strategy)
+	}
+	if plan.Schedule == nil {
+		t.Fatal("no schedule despite include_schedule")
+	}
+
+	// The served schedule is the oracle: replay it on the fault-injected
+	// simulator and scan every send against the dead set.
+	nw, err := popsnet.NewNetwork(d, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := popsnet.FaultSet{Couplers: []popsnet.Coupler{{B: 1, A: 2}, {B: 3, A: 0}, {B: 0, A: 0}}}
+	fn, err := fs.Compile(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := popsnet.VerifyPermutationRoutedFaulty(plan.Schedule, pi, fn); err != nil {
+		t.Fatalf("served schedule failed fault replay: %v", err)
+	}
+	for i, slot := range plan.Schedule.Slots {
+		for _, snd := range slot.Sends {
+			if fn.Dead(snd.DestGroup, nw.Group(snd.Src)) {
+				t.Fatalf("served slot %d drives dead coupler c(%d,%d)", i, snd.DestGroup, nw.Group(snd.Src))
+			}
+		}
+	}
+
+	// The identical workload through the typed client is a fingerprint-cache
+	// hit on the same shard.
+	replay, err := client.Execute(ctx, d, g, pops.FaultyPermutation(pi, fs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !replay.Cached {
+		t.Fatal("replayed fault workload was not a cache hit")
+	}
+
+	// A dead group severs every permutation: the verdict must round-trip as
+	// a typed *pops.UnroutableError, not a string.
+	_, err = client.Execute(ctx, d, g, pops.FaultyPermutation(pi, pops.FaultSet{Groups: []int{2}}))
+	var ue *pops.UnroutableError
+	if !errors.As(err, &ue) {
+		t.Fatalf("dead-group request: error = %v, want *pops.UnroutableError", err)
+	}
+	if !ue.SeveredSrc && !ue.SeveredDst {
+		t.Fatalf("unroutable verdict not marked severed: %+v", ue)
+	}
+
+	stats, err := client.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.FaultPlans != 3 {
+		t.Fatalf("stats.fault_plans = %d, want 3", stats.FaultPlans)
+	}
+	if stats.Unroutable != 1 {
+		t.Fatalf("stats.unroutable = %d, want 1", stats.Unroutable)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("server did not drain within 15s")
+	}
 }

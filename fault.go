@@ -1,0 +1,69 @@
+package pops
+
+import (
+	"pops/internal/core"
+	"pops/internal/popsnet"
+)
+
+// Coupler names one optical passive star coupler c(B, A): sources in group
+// A, destinations in group B.
+type Coupler = popsnet.Coupler
+
+// FaultSet declares dead hardware: individual dead couplers, and dead groups
+// as sugar for a whole coupler row and column. The zero value is fault-free.
+type FaultSet = popsnet.FaultSet
+
+// FaultyNetwork is the fault-injected simulator network: compile a FaultSet
+// with FaultSet.Compile, replay schedules against it, and kill couplers
+// between slots to model mid-trace fault arrival.
+type FaultyNetwork = popsnet.FaultyNetwork
+
+// UnroutableError is the one typed planning failure of FaultyPermutation: a
+// packet's source/destination group pair has no surviving relay path. Any
+// lesser fault load degrades the plan in slot count instead of failing.
+// Detect it with errors.As — it survives the service round-trip.
+type UnroutableError = core.UnroutableError
+
+// ErrDeadCoupler is the simulator's fault-injection violation: a slot drove,
+// or tuned a receiver to, a dead coupler.
+var ErrDeadCoupler = popsnet.ErrDeadCoupler
+
+// StrategyFaulty names the fault-aware planner in Plan.Strategy. Plans for
+// empty fault sets delegate to the normal planner and report
+// StrategyTheoremTwo — they are byte-identical to Permutation plans.
+const StrategyFaulty = core.StrategyFaulty
+
+type faultyWorkload struct {
+	pi     []int
+	faults FaultSet // canonical: sorted, deduplicated
+}
+
+func (faultyWorkload) Kind() string { return WorkloadFaultyPermutation }
+func (faultyWorkload) sealed()      {}
+
+// FaultyPermutation is the fault-tolerant Theorem 2 workload: route pi
+// without ever driving a dead coupler of faults. The planner starts from the
+// normal balanced coloring and repairs only the color classes touching dead
+// hardware — alternating-path recoloring first, extra slots when the
+// schedule's slack is exhausted — so plans degrade in slot count rather than
+// fail. The one failure mode is a severed source/destination pair, reported
+// as a typed *UnroutableError.
+//
+// The fault set is canonicalized (sorted, deduplicated) on construction, so
+// two spellings of the same faults share one fingerprint, one cache entry,
+// and one cluster placement. An empty set plans byte-identically to
+// Permutation(pi) — but under its own cache key, since the fault set is part
+// of the workload's identity.
+func FaultyPermutation(pi []int, faults FaultSet) Workload {
+	return faultyWorkload{pi: pi, faults: faults.Canonical()}
+}
+
+// faultyIdent flattens a fault workload for fingerprinting and cache
+// identity re-verification: the canonical fault set, then the permutation.
+// The layout is length-prefixed ([#couplers, b,a..., #groups, groups...,
+// pi...]), so distinct sets can never alias.
+func faultyIdent(faults FaultSet, pi []int) []int {
+	flat := make([]int, 0, 2+2*len(faults.Couplers)+len(faults.Groups)+len(pi))
+	flat = faults.AppendIdent(flat)
+	return append(flat, pi...)
+}

@@ -28,6 +28,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"sync"
@@ -128,6 +129,11 @@ type Proxy struct {
 	backends []*backend
 	ring     *ring
 
+	// jitter perturbs each failover backoff pause (defaultJitter unless a
+	// test injects its own), so proxies that lose the same backend at the
+	// same moment do not retry the survivors in lockstep.
+	jitter func(time.Duration) time.Duration
+
 	closed     atomic.Bool
 	stop       chan struct{}
 	healthDone chan struct{}
@@ -146,7 +152,7 @@ func New(cfg Config) (*Proxy, error) {
 		return nil, errors.New("cluster: at least one backend is required")
 	}
 	seen := make(map[string]bool, len(cfg.Backends))
-	p := &Proxy{cfg: cfg, stop: make(chan struct{}), healthDone: make(chan struct{})}
+	p := &Proxy{cfg: cfg, jitter: defaultJitter, stop: make(chan struct{}), healthDone: make(chan struct{})}
 	ids := make([]string, 0, len(cfg.Backends))
 	for _, raw := range cfg.Backends {
 		u, err := url.Parse(raw)
@@ -240,6 +246,17 @@ func (p *Proxy) ownersFor(key uint64) []*backend {
 	return all
 }
 
+// defaultJitter maps a doubling backoff step to a uniform pause in
+// [d/2, d]. Without it, every proxy that observed the same backend death
+// at the same moment retries the surviving owners in synchronized waves.
+func defaultJitter(d time.Duration) time.Duration {
+	if d <= 1 {
+		return d
+	}
+	half := d / 2
+	return half + time.Duration(rand.Int63n(int64(d-half)+1))
+}
+
 // isConnErr reports whether err is a transport-level failure — the backend
 // could not be reached or hung up before answering — as opposed to a
 // deterministic request- or plan-level error that every node would repeat.
@@ -265,7 +282,7 @@ func tryOwners[T any](p *Proxy, ctx context.Context, key uint64, fn func(*backen
 	var lastErr error
 	for i := 0; i < attempts; i++ {
 		if i > 0 {
-			backoff := p.cfg.RetryBackoff << uint(i-1)
+			backoff := p.jitter(p.cfg.RetryBackoff << uint(i-1))
 			select {
 			case <-time.After(backoff):
 			case <-ctx.Done():

@@ -471,3 +471,84 @@ func TestProxyDrain(t *testing.T) {
 		t.Fatal("Healthz nil after Close")
 	}
 }
+
+// TestFailoverBackoffJitter pins the retry decorrelation contract: every
+// failover pause is routed through the proxy's jitter hook with the doubling
+// base as input, and the default jitter keeps each pause within [base/2, base]
+// without collapsing to a constant.
+func TestFailoverBackoffJitter(t *testing.T) {
+	for _, d := range []time.Duration{time.Millisecond, 10 * time.Millisecond, time.Second} {
+		lo, hi := d, time.Duration(0)
+		for i := 0; i < 500; i++ {
+			j := defaultJitter(d)
+			if j < d/2 || j > d {
+				t.Fatalf("defaultJitter(%v) = %v, outside [%v, %v]", d, j, d/2, d)
+			}
+			if j < lo {
+				lo = j
+			}
+			if j > hi {
+				hi = j
+			}
+		}
+		if lo == hi {
+			t.Fatalf("defaultJitter(%v) returned %v on every draw; no jitter at all", d, lo)
+		}
+	}
+	if got := defaultJitter(1); got != 1 {
+		t.Fatalf("defaultJitter(1) = %v, want 1 (degenerate pause passes through)", got)
+	}
+
+	// Dead backends on every ring position: one Execute walks the full
+	// failover chain, so the recorded jitter inputs are exactly the doubling
+	// backoff bases.
+	urls := make([]string, 3)
+	for i := range urls {
+		srv := httptest.NewServer(http.NotFoundHandler())
+		urls[i] = srv.URL
+		srv.Close()
+	}
+	p, err := New(Config{Backends: urls, RetryBackoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Close)
+	var seen []time.Duration
+	p.jitter = func(d time.Duration) time.Duration {
+		seen = append(seen, d)
+		return 0
+	}
+	if _, err := p.Execute(context.Background(), 2, 4, pops.Permutation(pops.IdentityPermutation(8))); err == nil {
+		t.Fatal("Execute succeeded against a fleet of dead backends")
+	}
+	if want := p.cfg.Retries; len(seen) != want {
+		t.Fatalf("jitter consulted %d times, want %d (one per failover pause)", len(seen), want)
+	}
+	for i, d := range seen {
+		if want := p.cfg.RetryBackoff << uint(i); d != want {
+			t.Fatalf("failover pause %d fed %v to the jitter hook, want %v", i, d, want)
+		}
+	}
+}
+
+// TestRequestKeyFaultyPlacement pins proxy/backend cache agreement for the
+// fault-aware workload: the HTTP placement key must equal the fingerprint key
+// of the equivalent pops.FaultyPermutation (including fault-set
+// canonicalization), and must differ from the plain permutation's key so the
+// two cannot collide on one backend's cache entry.
+func TestRequestKeyFaultyPlacement(t *testing.T) {
+	pi := []int{1, 0, 3, 2}
+	req := &wire.RouteRequest{
+		D: 2, G: 2, Workload: wire.WorkloadFaultyPermutation, Pi: pi,
+		// Deliberately non-canonical spelling: duplicate coupler, unsorted.
+		Faults: &wire.FaultSet{Couplers: []wire.Coupler{{B: 1, A: 0}, {B: 1, A: 0}}, Groups: []int{1}},
+	}
+	w := pops.FaultyPermutation(pi, pops.FaultSet{Couplers: []pops.Coupler{{B: 1, A: 0}}, Groups: []int{1}})
+	if got, want := requestKey(req), placementKey(2, 2, pops.WorkloadFingerprint(w)); got != want {
+		t.Fatalf("requestKey = %#x, want the workload fingerprint key %#x", got, want)
+	}
+	plain := &wire.RouteRequest{D: 2, G: 2, Pi: pi}
+	if requestKey(req) == requestKey(plain) {
+		t.Fatal("faulty-permutation request keyed identically to the plain permutation")
+	}
+}

@@ -78,6 +78,16 @@ func requestKey(req *wire.RouteRequest) uint64 {
 		return placementKey(req.D, req.G, pops.WorkloadFingerprint(pops.AllToAll()))
 	case wire.WorkloadOneToAll:
 		return placementKey(req.D, req.G, pops.WorkloadFingerprint(pops.OneToAll(req.Speaker)))
+	case wire.WorkloadFaultyPermutation:
+		var fs pops.FaultSet
+		if req.Faults != nil {
+			fs.Couplers = make([]pops.Coupler, len(req.Faults.Couplers))
+			for i, c := range req.Faults.Couplers {
+				fs.Couplers[i] = pops.Coupler{B: c.B, A: c.A}
+			}
+			fs.Groups = req.Faults.Groups
+		}
+		return placementKey(req.D, req.G, pops.WorkloadFingerprint(pops.FaultyPermutation(req.Pi, fs)))
 	default:
 		return placementKey(req.D, req.G, 0)
 	}

@@ -49,6 +49,8 @@ func (p *Proxy) Stats(ctx context.Context) (*wire.StatsResponse, error) {
 		agg.StreamedSlots += s.StreamedSlots
 		agg.CacheHits += s.CacheHits
 		agg.CacheMisses += s.CacheMisses
+		agg.FaultPlans += s.FaultPlans
+		agg.Unroutable += s.Unroutable
 		agg.Latency = mergeBuckets(agg.Latency, s.Latency)
 		agg.TimeToFirstSlot = mergeBuckets(agg.TimeToFirstSlot, s.TimeToFirstSlot)
 		agg.Shards = append(agg.Shards, s.Shards...)

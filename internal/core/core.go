@@ -96,6 +96,7 @@ const (
 	StrategyAuto          = "auto"
 	StrategyHRelation     = "hrelation"
 	StrategyOneToAll      = "one-to-all"
+	StrategyFaulty        = "faulty-permutation"
 )
 
 // Plan is a verified-constructible routing plan for one workload. It is the
@@ -121,6 +122,11 @@ type Plan struct {
 
 	// Speaker is the broadcasting processor of a one-to-all plan.
 	Speaker int
+
+	// Faults is the canonical fault set a StrategyFaulty plan routed around.
+	// Zero for every other strategy — and for fault requests whose set turned
+	// out empty, which delegate to the normal planner (byte-identical plans).
+	Faults popsnet.FaultSet
 
 	sched *popsnet.Schedule
 	// Delivery vectors of an h-relation plan: packet k starts at home[k] and
@@ -256,6 +262,12 @@ func (p *Plan) SlotCount() int { return len(p.sched.Slots) }
 // the execution trace.
 func (p *Plan) Verify() (*popsnet.Trace, error) {
 	switch {
+	case p.Strategy == StrategyFaulty:
+		fn, err := p.Faults.Compile(p.Net)
+		if err != nil {
+			return nil, err
+		}
+		return popsnet.VerifyPermutationRoutedFaulty(p.sched, p.Pi, fn)
 	case p.Strategy == StrategyHRelation:
 		return popsnet.VerifyDelivery(p.sched, p.home, p.want)
 	case p.Strategy == StrategyOneToAll:

@@ -1,0 +1,242 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"pops/internal/perms"
+	"pops/internal/popsnet"
+)
+
+// assertFaultPlan replays the plan on the fault-injected simulator and scans
+// every send for dead-coupler use: full delivery, zero dead hardware.
+func assertFaultPlan(t *testing.T, plan *Plan, pi []int, fs popsnet.FaultSet) {
+	t.Helper()
+	fn, err := fs.Compile(plan.Net)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if _, err := popsnet.VerifyPermutationRoutedFaulty(plan.Schedule(), pi, fn); err != nil {
+		t.Fatalf("fault replay: %v", err)
+	}
+	for i, slot := range plan.Schedule().Slots {
+		for _, snd := range slot.Sends {
+			if fn.Dead(snd.DestGroup, plan.Net.Group(snd.Src)) {
+				t.Fatalf("slot %d drives dead coupler c(%d,%d)", i, snd.DestGroup, plan.Net.Group(snd.Src))
+			}
+		}
+	}
+}
+
+func TestPlanFaultyEmptySetIsByteIdentical(t *testing.T) {
+	for _, shape := range [][2]int{{1, 5}, {2, 2}, {3, 4}, {4, 3}, {4, 4}} {
+		d, g := shape[0], shape[1]
+		pl, err := NewPlanner(d, g, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(int64(d*100 + g)))
+		pi := perms.Random(d*g, rng)
+		base, err := pl.Plan(pi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		faulty, err := pl.PlanFaulty(context.Background(), pi, popsnet.FaultSet{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if faulty.Strategy != StrategyTheoremTwo {
+			t.Fatalf("POPS(%d,%d): empty-fault strategy = %q, want %q", d, g, faulty.Strategy, StrategyTheoremTwo)
+		}
+		if !reflect.DeepEqual(base.Schedule(), faulty.Schedule()) {
+			t.Fatalf("POPS(%d,%d): empty-fault schedule differs from the normal plan", d, g)
+		}
+		if !reflect.DeepEqual(base.Colors, faulty.Colors) {
+			t.Fatalf("POPS(%d,%d): empty-fault colors differ", d, g)
+		}
+	}
+}
+
+func TestPlanFaultyAvoidsDeadCouplers(t *testing.T) {
+	shapes := [][2]int{{2, 2}, {2, 4}, {3, 2}, {4, 4}, {6, 3}, {3, 6}, {8, 8}}
+	for _, shape := range shapes {
+		d, g := shape[0], shape[1]
+		pl, err := NewPlanner(d, g, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(int64(d*1000 + g)))
+		for trial := 0; trial < 20; trial++ {
+			pi := perms.Random(d*g, rng)
+			var fs popsnet.FaultSet
+			for b := 0; b < g; b++ {
+				for a := 0; a < g; a++ {
+					if rng.Intn(5) == 0 {
+						fs.Couplers = append(fs.Couplers, popsnet.Coupler{B: b, A: a})
+					}
+				}
+			}
+			plan, err := pl.PlanFaulty(context.Background(), pi, fs)
+			if err != nil {
+				var ue *UnroutableError
+				if errors.As(err, &ue) {
+					if _, ok := mustCompile(t, plan, d, g, fs).AliveRelay(ue.SrcGroup, ue.DstGroup); ok && d > 1 {
+						t.Fatalf("POPS(%d,%d): unroutable verdict for a pair with an alive relay", d, g)
+					}
+					continue
+				}
+				t.Fatalf("POPS(%d,%d) trial %d: %v", d, g, trial, err)
+			}
+			if plan.Strategy != StrategyFaulty && !fs.Empty() {
+				t.Fatalf("strategy = %q", plan.Strategy)
+			}
+			assertFaultPlan(t, plan, pi, fs)
+		}
+	}
+}
+
+// mustCompile compiles fs on the shape regardless of whether planning
+// produced a plan (plan may be nil on an unroutable verdict).
+func mustCompile(t *testing.T, plan *Plan, d, g int, fs popsnet.FaultSet) *popsnet.FaultyNetwork {
+	t.Helper()
+	nw, err := popsnet.NewNetwork(d, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn, err := fs.Compile(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fn
+}
+
+func TestPlanFaultyUnroutable(t *testing.T) {
+	pl, err := NewPlanner(3, 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi := perms.Identity(9)
+
+	// A dead group severs itself: every permutation sends from (and into)
+	// every group, so the typed error is guaranteed.
+	_, err = pl.PlanFaulty(context.Background(), pi, popsnet.FaultSet{Groups: []int{1}})
+	var ue *UnroutableError
+	if !errors.As(err, &ue) {
+		t.Fatalf("dead group: error = %v, want *UnroutableError", err)
+	}
+	if !ue.SeveredSrc && !ue.SeveredDst {
+		t.Fatalf("dead group verdict not marked severed: %+v", ue)
+	}
+
+	// Killing a whole coupler column severs group 0 as a source.
+	fs := popsnet.FaultSet{Couplers: []popsnet.Coupler{{B: 0, A: 0}, {B: 1, A: 0}, {B: 2, A: 0}}}
+	_, err = pl.PlanFaulty(context.Background(), pi, fs)
+	if !errors.As(err, &ue) {
+		t.Fatalf("severed column: error = %v, want *UnroutableError", err)
+	}
+	if !ue.SeveredSrc || ue.SrcGroup != 0 {
+		t.Fatalf("severed column verdict: %+v", ue)
+	}
+
+	// The planner survives the bad-path and still plans routable sets.
+	plan, err := pl.PlanFaulty(context.Background(), pi, popsnet.FaultSet{Couplers: []popsnet.Coupler{{B: 0, A: 0}}})
+	if err != nil {
+		t.Fatalf("routable set after unroutable calls: %v", err)
+	}
+	assertFaultPlan(t, plan, pi, popsnet.FaultSet{Couplers: []popsnet.Coupler{{B: 0, A: 0}}})
+}
+
+func TestPlanFaultyDirectCase(t *testing.T) {
+	// d = 1: the fault-free plan is one direct slot; dead direct couplers
+	// reroute through appended relay rounds.
+	pl, err := NewPlanner(1, 5, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi := []int{1, 0, 3, 4, 2}
+	fs := popsnet.FaultSet{Couplers: []popsnet.Coupler{{B: 1, A: 0}, {B: 4, A: 3}}}
+	plan, err := pl.PlanFaulty(context.Background(), pi, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Strategy != StrategyFaulty {
+		t.Fatalf("strategy = %q", plan.Strategy)
+	}
+	if plan.Colors != nil {
+		t.Fatal("d = 1 fault plan has relay colors")
+	}
+	assertFaultPlan(t, plan, pi, fs)
+	// Both broken packets share one relay round when their relays differ:
+	// 1 direct slot + 2 relay slots.
+	if got := plan.SlotCount(); got != 3 {
+		t.Fatalf("SlotCount = %d, want 3", got)
+	}
+
+	// An unroutable d = 1 pair: processor 2's packet has its direct coupler
+	// and every two-hop path killed.
+	var sever popsnet.FaultSet
+	for j := 0; j < 5; j++ {
+		sever.Couplers = append(sever.Couplers, popsnet.Coupler{B: j, A: 2})
+	}
+	_, err = pl.PlanFaulty(context.Background(), pi, sever)
+	var ue *UnroutableError
+	if !errors.As(err, &ue) || !ue.SeveredSrc {
+		t.Fatalf("severed d = 1 source: error = %v", err)
+	}
+}
+
+// TestPlanFaultyForcedOverflow pins the degradation contract on the smallest
+// shape with zero schedule slack: POPS(2,2) under the identity permutation
+// has both color classes exactly full, and killing c(0,0) leaves the broken
+// (0→0) packet no in-schedule repair — the plan grows by one overflow round
+// (two slots) instead of failing.
+func TestPlanFaultyForcedOverflow(t *testing.T) {
+	pl, err := NewPlanner(2, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi := perms.Identity(4)
+	fs := popsnet.FaultSet{Couplers: []popsnet.Coupler{{B: 0, A: 0}}}
+	plan, err := pl.PlanFaulty(context.Background(), pi, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertFaultPlan(t, plan, pi, fs)
+	if base := OptimalSlots(2, 2); plan.SlotCount() != base+2 {
+		t.Fatalf("SlotCount = %d, want %d (optimal %d + one overflow round)", plan.SlotCount(), base+2, base)
+	}
+	if plan.Rounds != 2 {
+		t.Fatalf("Rounds = %d, want 2", plan.Rounds)
+	}
+}
+
+// TestPlanFaultyVerifyDispatch pins Plan.Verify's fault branch: a faulty
+// plan replays on the fault-injected simulator, so a schedule tampered onto
+// dead hardware fails verification.
+func TestPlanFaultyVerifyDispatch(t *testing.T) {
+	pl, err := NewPlanner(2, 4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	pi := perms.Random(8, rng)
+	fs := popsnet.FaultSet{Couplers: []popsnet.Coupler{{B: 2, A: 1}}}
+	plan, err := pl.PlanFaulty(context.Background(), pi, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plan.Verify(); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	// Tamper: claim a stricter fault set the schedule does not honor. Verify
+	// must now reject the replay with a dead-coupler violation (or a
+	// delivery failure — either way, an error).
+	tampered := *plan
+	tampered.Faults = popsnet.FaultSet{Groups: []int{0}}
+	if _, err := tampered.Verify(); err == nil {
+		t.Fatal("Verify accepted a schedule that drives couplers its fault set declares dead")
+	}
+}

@@ -103,7 +103,7 @@ func (pl *Planner) PlanHRelation(ctx context.Context, reqs []Request) (*Plan, er
 type HRelationStream struct {
 	pl       *Planner
 	ctx      context.Context
-	reqs     []Request         // plan-owned snapshot
+	reqs     []Request // plan-owned snapshot
 	h        int
 	slotsPer int
 	stream   *edgecolor.Stream // request-graph factor stream; nil for h == 0

@@ -190,28 +190,39 @@ func Run(s *Schedule) (*State, *Trace, error) {
 	return RunFrom(s, home)
 }
 
-// step validates and applies a single slot to the state.
-func step(st *State, slot *Slot) error {
+// step validates and applies a single slot to the state. A non-nil fn
+// injects faults: any send driving — or receiver tuned to — a dead coupler
+// rejects the slot with ErrDeadCoupler.
+func step(st *State, slot *Slot, fn *FaultyNetwork) error {
 	nw := st.nw
-	// Phase 1: validate sends, load couplers.
-	coupler := make(map[int]int, len(slot.Sends)) // coupler ID -> packet
+	// Phase 1: validate sends, load couplers. Each coupler remembers its
+	// driver so a conflict names both processors, not just the coupler.
+	type drive struct{ src, packet int }
+	coupler := make(map[int]drive, len(slot.Sends)) // coupler ID -> driver
 	senderPacket := make(map[int]int, len(slot.Sends))
 	for _, snd := range slot.Sends {
 		if !nw.ValidProc(snd.Src) || !nw.ValidGroup(snd.DestGroup) {
 			return fmt.Errorf("%w: send %+v", ErrBadIndex, snd)
 		}
+		srcGroup := nw.Group(snd.Src)
 		if !st.Holds(snd.Src, snd.Packet) {
-			return fmt.Errorf("%w: processor %d does not hold packet %d", ErrSenderNotHolding, snd.Src, snd.Packet)
+			return fmt.Errorf("%w: processor %d does not hold packet %d (driving coupler c(%d,%d))",
+				ErrSenderNotHolding, snd.Src, snd.Packet, snd.DestGroup, srcGroup)
 		}
 		if prev, ok := senderPacket[snd.Src]; ok && prev != snd.Packet {
 			return fmt.Errorf("%w: processor %d sends packets %d and %d", ErrSenderAmbiguous, snd.Src, prev, snd.Packet)
 		}
 		senderPacket[snd.Src] = snd.Packet
-		cid := nw.CouplerID(snd.DestGroup, nw.Group(snd.Src))
-		if _, busy := coupler[cid]; busy {
-			return fmt.Errorf("%w: coupler c(%d,%d)", ErrCouplerConflict, snd.DestGroup, nw.Group(snd.Src))
+		cid := nw.CouplerID(snd.DestGroup, srcGroup)
+		if fn != nil && fn.dead[cid] {
+			return fmt.Errorf("%w: processor %d drives dead coupler c(%d,%d) with packet %d",
+				ErrDeadCoupler, snd.Src, snd.DestGroup, srcGroup, snd.Packet)
 		}
-		coupler[cid] = snd.Packet
+		if prev, busy := coupler[cid]; busy {
+			return fmt.Errorf("%w: coupler c(%d,%d) driven by processor %d (packet %d) and processor %d (packet %d)",
+				ErrCouplerConflict, snd.DestGroup, srcGroup, prev.src, prev.packet, snd.Src, snd.Packet)
+		}
+		coupler[cid] = drive{src: snd.Src, packet: snd.Packet}
 	}
 	// Phase 2: validate receives against the loaded couplers.
 	seenRecv := make(map[int]bool, len(slot.Recvs))
@@ -228,9 +239,13 @@ func step(st *State, slot *Slot) error {
 		cid := nw.CouplerID(nw.Group(rcv.Proc), rcv.SrcGroup)
 		pkt, ok := coupler[cid]
 		if !ok {
+			if fn != nil && fn.dead[cid] {
+				return fmt.Errorf("%w: processor %d tuned to dead coupler c(%d,%d)",
+					ErrDeadCoupler, rcv.Proc, nw.Group(rcv.Proc), rcv.SrcGroup)
+			}
 			return fmt.Errorf("%w: processor %d on coupler c(%d,%d)", ErrEmptyCoupler, rcv.Proc, nw.Group(rcv.Proc), rcv.SrcGroup)
 		}
-		deliveries = append(deliveries, delivery{rcv.Proc, pkt})
+		deliveries = append(deliveries, delivery{rcv.Proc, pkt.packet})
 	}
 	// Phase 3: apply — senders release their packet, receivers store a copy.
 	// All sends happen "before" all receives within the slot, as in the SIMD

@@ -25,28 +25,24 @@ func NewCustomState(nw Network, home []int) (*State, error) {
 // RunFrom replays the schedule starting from the custom initial placement
 // home (packet k at processor home[k]), returning the final state and trace.
 func RunFrom(s *Schedule, home []int) (*State, *Trace, error) {
-	st, err := NewCustomState(s.Net, home)
+	return runFrom(s, home, nil)
+}
+
+// runFrom is RunFrom with optional fault injection (nil fn = fault-free).
+func runFrom(s *Schedule, home []int, fn *FaultyNetwork) (*State, *Trace, error) {
+	r, err := NewReplayer(s, home, fn)
 	if err != nil {
 		return nil, nil, err
 	}
-	tr := &Trace{
-		MaxHeld:      make([]int, len(s.Slots)),
-		PacketsMoved: make([]int, len(s.Slots)),
-	}
-	for i := range s.Slots {
-		if err := step(st, &s.Slots[i]); err != nil {
-			return nil, nil, &SlotError{Slot: i, Err: err}
+	for {
+		ok, err := r.Step()
+		if err != nil {
+			return nil, nil, err
 		}
-		tr.PacketsMoved[i] = len(s.Slots[i].Recvs)
-		maxHeld := 0
-		for p := range st.holding {
-			if len(st.holding[p]) > maxHeld {
-				maxHeld = len(st.holding[p])
-			}
+		if !ok {
+			return r.st, r.tr, nil
 		}
-		tr.MaxHeld[i] = maxHeld
 	}
-	return st, tr, nil
 }
 
 // VerifyDelivery replays the schedule from the custom placement home and

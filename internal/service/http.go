@@ -60,6 +60,11 @@ func requestStatus(err error) int {
 // combinations (wrong payload for the kind, a strategy on a non-permutation
 // workload).
 func workloadFromRequest(req *wire.RouteRequest) (pops.Workload, error) {
+	// A fault set on any other kind would be silently ignored — reject it so
+	// the caller never believes a plan routed around faults it never saw.
+	if req.Faults != nil && req.Workload != wire.WorkloadFaultyPermutation {
+		return nil, fmt.Errorf("service: faults apply to the faulty-permutation workload only")
+	}
 	switch req.Workload {
 	case "", wire.WorkloadPermutation:
 		return nil, nil
@@ -82,6 +87,22 @@ func workloadFromRequest(req *wire.RouteRequest) (pops.Workload, error) {
 			return nil, fmt.Errorf("service: one-to-all workload takes a speaker, not pi/requests")
 		}
 		return pops.OneToAll(req.Speaker), nil
+	case wire.WorkloadFaultyPermutation:
+		if len(req.Pis) > 0 || len(req.Requests) > 0 {
+			return nil, fmt.Errorf("service: faulty-permutation workload takes pi and faults, not pis/requests")
+		}
+		if len(req.Pi) == 0 {
+			return nil, fmt.Errorf("service: faulty-permutation workload takes a permutation (pi)")
+		}
+		var fs pops.FaultSet
+		if req.Faults != nil {
+			fs.Couplers = make([]pops.Coupler, len(req.Faults.Couplers))
+			for i, c := range req.Faults.Couplers {
+				fs.Couplers[i] = pops.Coupler{B: c.B, A: c.A}
+			}
+			fs.Groups = req.Faults.Groups
+		}
+		return pops.FaultyPermutation(req.Pi, fs), nil
 	default:
 		return nil, fmt.Errorf("service: unknown workload %q", req.Workload)
 	}
@@ -248,12 +269,24 @@ func planResult(pi []int, res Result, includeSchedule bool) wire.PlanResult {
 // form, tagging the workload kind and the relation degree.
 func workloadResult(w pops.Workload, res Result, includeSchedule bool) wire.PlanResult {
 	if res.Err != nil {
-		return wire.PlanResult{Error: res.Err.Error()}
+		pr := wire.PlanResult{Workload: w.Kind(), Error: res.Err.Error()}
+		var ue *pops.UnroutableError
+		if errors.As(res.Err, &ue) {
+			pr.Unroutable = &wire.UnroutableInfo{
+				Packet:     ue.Packet,
+				SrcGroup:   ue.SrcGroup,
+				DstGroup:   ue.DstGroup,
+				SeveredSrc: ue.SeveredSrc,
+				SeveredDst: ue.SeveredDst,
+			}
+		}
+		return pr
 	}
 	pr := wire.PlanResult{
 		Strategy:    res.Plan.Strategy,
 		Workload:    w.Kind(),
 		Slots:       res.Plan.SlotCount(),
+		Rounds:      res.Plan.Rounds,
 		H:           res.Plan.H,
 		Fingerprint: fmt.Sprintf("%016x", pops.WorkloadFingerprint(w)),
 		Cached:      res.Cached,

@@ -105,6 +105,10 @@ type Service struct {
 
 	requests      atomic.Uint64
 	evictedShards atomic.Uint64
+	// faultPlans counts faulty-permutation workloads served; unroutable
+	// counts the subset that ended in a typed *pops.UnroutableError.
+	faultPlans atomic.Uint64
+	unroutable atomic.Uint64
 	// retiredHits/Misses preserve the cache counters of evicted shards, so
 	// /stats totals survive shard churn.
 	retiredHits   atomic.Uint64
@@ -226,6 +230,13 @@ func (s *Service) Execute(ctx context.Context, d, g int, w pops.Workload) (Resul
 		if err != nil {
 			return Result{}, err
 		}
+		if w.Kind() == pops.WorkloadFaultyPermutation {
+			s.faultPlans.Add(1)
+			var ue *pops.UnroutableError
+			if errors.As(res.Err, &ue) {
+				s.unroutable.Add(1)
+			}
+		}
 		return res, nil
 	}
 }
@@ -309,6 +320,8 @@ func (s *Service) Stats() wire.StatsResponse {
 		StreamedSlots:   s.streamedSlots.Load(),
 		CacheHits:       s.retiredHits.Load(),
 		CacheMisses:     s.retiredMisses.Load(),
+		FaultPlans:      s.faultPlans.Load(),
+		Unroutable:      s.unroutable.Load(),
 		Latency:         s.latency.snapshot(),
 		TimeToFirstSlot: s.ttfs.snapshot(),
 	}

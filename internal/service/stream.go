@@ -2,6 +2,7 @@ package service
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -62,7 +63,17 @@ func (s *Service) ExecuteStream(ctx context.Context, d, g int, w pops.Workload) 
 	if w == nil {
 		return nil, pops.ErrNilWorkload
 	}
-	return s.admitStreamRetrying(ctx, d, g, w, nil, "")
+	st, err := s.admitStreamRetrying(ctx, d, g, w, nil, "")
+	if w.Kind() == pops.WorkloadFaultyPermutation {
+		// Fault streams are planned at admission, so an unroutable fault set
+		// surfaces here as the admission error — count it like Execute does.
+		s.faultPlans.Add(1)
+		var ue *pops.UnroutableError
+		if errors.As(err, &ue) {
+			s.unroutable.Add(1)
+		}
+	}
+	return st, err
 }
 
 // admitStreamRetrying resolves the shard (retrying across evictions) and
@@ -122,6 +133,10 @@ func (sh *shard) admitStream(ctx context.Context, w pops.Workload, pi []int, str
 			planStrategy = pops.StrategyHRelation
 		case pops.WorkloadOneToAll:
 			planStrategy = pops.StrategyOneToAll
+		case pops.WorkloadFaultyPermutation:
+			// StrategyFaulty for a repaired plan, StrategyTheoremTwo when the
+			// fault set was empty and planning delegated.
+			planStrategy = ps.Strategy()
 		}
 		st.meta = wire.StreamMeta{
 			D: sh.key.d, G: sh.key.g, Workload: wireKind,

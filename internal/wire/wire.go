@@ -15,11 +15,38 @@ import "pops/internal/popsnet"
 // Workload kind tags of the tagged request schema, mirroring the
 // pops.Workload constructors. An empty workload field means "permutation".
 const (
-	WorkloadPermutation = "permutation"
-	WorkloadHRelation   = "hrelation"
-	WorkloadAllToAll    = "all-to-all"
-	WorkloadOneToAll    = "one-to-all"
+	WorkloadPermutation       = "permutation"
+	WorkloadHRelation         = "hrelation"
+	WorkloadAllToAll          = "all-to-all"
+	WorkloadOneToAll          = "one-to-all"
+	WorkloadFaultyPermutation = "faulty-permutation"
 )
+
+// Coupler names one coupler c(b, a) of a fault set: destination group B,
+// source group A.
+type Coupler struct {
+	B int `json:"b"`
+	A int `json:"a"`
+}
+
+// FaultSet is the wire form of pops.FaultSet: the dead couplers and dead
+// groups a faulty-permutation workload must route around.
+type FaultSet struct {
+	Couplers []Coupler `json:"couplers,omitempty"`
+	Groups   []int     `json:"groups,omitempty"`
+}
+
+// UnroutableInfo carries the typed planning failure of a faulty-permutation
+// workload whose fault set severs some source/destination pair. It rides in
+// PlanResult next to the rendered Error text, so clients can reconstruct a
+// *pops.UnroutableError instead of string-matching.
+type UnroutableInfo struct {
+	Packet     int  `json:"packet"`
+	SrcGroup   int  `json:"src_group"`
+	DstGroup   int  `json:"dst_group"`
+	SeveredSrc bool `json:"severed_src,omitempty"`
+	SeveredDst bool `json:"severed_dst,omitempty"`
+}
 
 // Request is one packet demand of an h-relation workload: move a packet
 // from Src to Dst.
@@ -48,6 +75,10 @@ type RouteRequest struct {
 	Requests []Request `json:"requests,omitempty"`
 	// Speaker is the broadcasting processor of a one-to-all workload.
 	Speaker int `json:"speaker,omitempty"`
+	// Faults is the fault set of a faulty-permutation workload (which carries
+	// its permutation in Pi). Nil or empty means no faults: the plan is then
+	// byte-identical to the plain permutation plan.
+	Faults *FaultSet `json:"faults,omitempty"`
 	// Strategy selects the routing strategy for permutation workloads
 	// ("theorem2", "greedy", "direct-optimal", "singleslot", "auto"). Empty
 	// means "theorem2", the only strategy served through the micro-batching
@@ -74,9 +105,12 @@ type PlanResult struct {
 	Fingerprint string `json:"fingerprint,omitempty"`
 	// Cached reports that this plan was answered from the shard's
 	// fingerprint plan cache rather than replanned.
-	Cached   bool              `json:"cached,omitempty"`
-	Error    string            `json:"error,omitempty"`
-	Schedule *popsnet.Schedule `json:"schedule,omitempty"`
+	Cached bool   `json:"cached,omitempty"`
+	Error  string `json:"error,omitempty"`
+	// Unroutable refines Error for faulty-permutation workloads whose fault
+	// set severs a group pair — the one typed planning failure of the kind.
+	Unroutable *UnroutableInfo   `json:"unroutable,omitempty"`
+	Schedule   *popsnet.Schedule `json:"schedule,omitempty"`
 }
 
 // RouteResponse is the body answering POST /route.
@@ -194,16 +228,20 @@ type LatencyBucket struct {
 type StatsResponse struct {
 	// Server identifies the answering node (its -name flag or listen
 	// address); a proxy reports "popsproxy".
-	Server        string          `json:"server,omitempty"`
-	ShardCount    int             `json:"shard_count"`
-	MaxShards     int             `json:"max_shards"`
-	EvictedShards uint64          `json:"evicted_shards"`
-	Requests      uint64          `json:"requests"`
-	Streams       uint64          `json:"streams"`
-	StreamedSlots uint64          `json:"streamed_slots"`
-	CacheHits     uint64          `json:"cache_hits"`
-	CacheMisses   uint64          `json:"cache_misses"`
-	Latency       []LatencyBucket `json:"latency"`
+	Server        string `json:"server,omitempty"`
+	ShardCount    int    `json:"shard_count"`
+	MaxShards     int    `json:"max_shards"`
+	EvictedShards uint64 `json:"evicted_shards"`
+	Requests      uint64 `json:"requests"`
+	Streams       uint64 `json:"streams"`
+	StreamedSlots uint64 `json:"streamed_slots"`
+	CacheHits     uint64 `json:"cache_hits"`
+	CacheMisses   uint64 `json:"cache_misses"`
+	// FaultPlans counts faulty-permutation workloads served; Unroutable
+	// counts the subset rejected with a typed unroutable verdict.
+	FaultPlans uint64          `json:"fault_plans,omitempty"`
+	Unroutable uint64          `json:"unroutable,omitempty"`
+	Latency    []LatencyBucket `json:"latency"`
 	// TimeToFirstSlot is the streaming analogue of Latency: time from
 	// stream admission until the first slot fragment was ready to flush.
 	// It is the measured signal for the per-shape cost model (see ROADMAP).

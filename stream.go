@@ -203,6 +203,21 @@ func (ps *PlanStream) Err() error { return ps.err }
 // than planning incrementally.
 func (ps *PlanStream) Cached() bool { return ps.cached }
 
+// Strategy reports the routing strategy of the streamed plan. Materialized
+// streams (cache hits, broadcasts, fault-repaired plans) read it off the
+// finished plan; incremental streams read it off the plan under assembly.
+func (ps *PlanStream) Strategy() string {
+	if ps.plan != nil {
+		return ps.plan.Strategy
+	}
+	if ps.cs != nil {
+		if p := ps.cs.Plan(); p != nil {
+			return p.Strategy
+		}
+	}
+	return StrategyTheoremTwo
+}
+
 // SlotCount returns the number of slots of the final schedule, known before
 // any fragment is produced.
 func (ps *PlanStream) SlotCount() int {

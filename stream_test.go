@@ -181,7 +181,7 @@ func TestRouteStreamConcurrentWithRoute(t *testing.T) {
 	}
 	var wg sync.WaitGroup
 	for w := 0; w < 4; w++ {
-		pi := RandomPermutation(d*g, rand.New(rand.NewSource(int64(100 + w))))
+		pi := RandomPermutation(d*g, rand.New(rand.NewSource(int64(100+w))))
 		wg.Add(1)
 		go func() {
 			defer wg.Done()

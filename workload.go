@@ -12,16 +12,18 @@ import (
 // Workload kind tags, as reported by Workload.Kind and spoken on the wire
 // (the "workload" field of the routing service's requests).
 const (
-	WorkloadPermutation = "permutation"
-	WorkloadHRelation   = "hrelation"
-	WorkloadAllToAll    = "all-to-all"
-	WorkloadOneToAll    = "one-to-all"
+	WorkloadPermutation       = "permutation"
+	WorkloadHRelation         = "hrelation"
+	WorkloadAllToAll          = "all-to-all"
+	WorkloadOneToAll          = "one-to-all"
+	WorkloadFaultyPermutation = "faulty-permutation"
 )
 
 // Workload is one routing problem on a POPS(d, g) network: the paper's
 // Theorem 2 permutation, its h-relation generalization, the complete
-// exchange, or the one-slot broadcast. Workloads are built with the
-// Permutation, HRelation, AllToAll and OneToAll constructors and executed —
+// exchange, the one-slot broadcast, or a permutation routed around dead
+// hardware. Workloads are built with the Permutation, HRelation, AllToAll,
+// OneToAll and FaultyPermutation constructors and executed —
 // batch or streaming — by the one pair of Planner methods:
 //
 //	plan, err := planner.Execute(ctx, pops.Permutation(pi))
@@ -30,7 +32,7 @@ const (
 // Every workload kind inherits the Planner's pooled worker arenas, its
 // fingerprint plan cache (keyed by the workload-kind tag mixed into the
 // content fingerprint), and — over the wire — the service's sharding and
-// slot streaming. The interface is sealed: the four constructors enumerate
+// slot streaming. The interface is sealed: the five constructors enumerate
 // the supported kinds.
 type Workload interface {
 	// Kind returns the workload's tag (WorkloadPermutation, ...).
@@ -89,6 +91,7 @@ const (
 	cacheKindHRelation
 	cacheKindAllToAll
 	cacheKindOneToAll
+	cacheKindFaulty
 )
 
 // workloadSalt[kind] is XORed into the content fingerprint. Permutations
@@ -99,6 +102,7 @@ var workloadSalt = [...]uint64{
 	cacheKindHRelation:   0x9e3779b97f4a7c15,
 	cacheKindAllToAll:    0xc2b2ae3d27d4eb4f,
 	cacheKindOneToAll:    0x165667b19e3779f9,
+	cacheKindFaulty:      0x27d4eb2f165667c5,
 }
 
 // flattenRequests serializes reqs for fingerprinting and cache identity
@@ -125,6 +129,9 @@ func workloadKey(w Workload) (key uint64, kind uint8, ident []int) {
 	case oneToAllWorkload:
 		ident = []int{w.speaker}
 		return perms.Fingerprint(ident) ^ workloadSalt[cacheKindOneToAll], cacheKindOneToAll, ident
+	case faultyWorkload:
+		flat := faultyIdent(w.faults, w.pi)
+		return perms.Fingerprint(flat) ^ workloadSalt[cacheKindFaulty], cacheKindFaulty, flat
 	default:
 		panic(fmt.Sprintf("pops: unknown workload type %T", w))
 	}
@@ -139,6 +146,11 @@ func cacheIdentFor(kind uint8, plan *Plan) []int {
 		return plan.Pi
 	case cacheKindHRelation:
 		return flattenRequests(plan.Reqs)
+	case cacheKindFaulty:
+		// plan.Faults is already canonical (zero for delegated empty-fault
+		// plans, which AppendIdent encodes as [0, 0] — matching the
+		// workload's ident for an empty set).
+		return faultyIdent(plan.Faults, plan.Pi)
 	default:
 		return nil
 	}
@@ -195,6 +207,10 @@ func (p *Planner) ExecuteCached(ctx context.Context, w Workload) (plan *Plan, ca
 	case allToAllWorkload:
 		return p.executeWorkload(ctx, w, func(pl *core.Planner) (*Plan, error) {
 			return pl.PlanHRelation(ctx, core.AllToAllRequests(p.nw.N()))
+		})
+	case faultyWorkload:
+		return p.executeWorkload(ctx, w, func(pl *core.Planner) (*Plan, error) {
+			return pl.PlanFaulty(ctx, w.pi, w.faults)
 		})
 	case oneToAllWorkload:
 		// Broadcast planning is a single O(n) fan-out slot: cheaper than a
@@ -299,6 +315,17 @@ func (p *Planner) ExecuteStream(ctx context.Context, w Workload) (*PlanStream, e
 			return nil, err
 		}
 		return &PlanStream{p: p, plan: plan, nocache: true, total: plan.SlotCount()}, nil
+	}
+	if fw, ok := w.(faultyWorkload); ok {
+		// Fault repair is whole-plan (Kempe flips are global), so the stream
+		// materializes the finished plan and replays whole slots — the same
+		// shape a fingerprint-cache hit streams. ExecuteCached already
+		// memoized the plan, hence nocache.
+		plan, cached, err := p.ExecuteCached(ctx, Workload(fw))
+		if err != nil {
+			return nil, err
+		}
+		return &PlanStream{p: p, plan: plan, cached: cached, nocache: true, total: plan.SlotCount()}, nil
 	}
 
 	var key uint64
