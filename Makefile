@@ -3,7 +3,7 @@
 
 DATE := $(shell date +%F)
 
-.PHONY: build test vet race tier1 bench bench-smoke alloc-guard serve-smoke cluster-smoke fault-smoke
+.PHONY: build test vet race tier1 bench bench-smoke alloc-guard serve-smoke cluster-smoke fault-smoke obs-smoke
 
 build:
 	go build ./...
@@ -48,6 +48,15 @@ cluster-smoke:
 fault-smoke:
 	go test -run 'TestFaultSmoke' -count=1 -v ./cmd/popsserved
 
+# End-to-end observability smoke: boot popsserved with a -debug-addr
+# listener, route a permutation under a caller-chosen X-Request-Id, and
+# assert the ID echoes through the client round trip, GET /metrics serves
+# Prometheus text with a (d, g, strategy)-labeled plan-time series, the
+# traced request lands in GET /debug/slow, and the debug listener answers
+# both /metrics and net/http/pprof.
+obs-smoke:
+	go test -run 'TestObsSmoke' -count=1 -v ./cmd/popsserved
+
 # Record a BENCH_<date>.json with the benchmark set the baselines use.
 # Override the output or note: make bench BENCH_OUT=BENCH_x.json BENCH_NOTE="..."
 BENCH_OUT  ?= BENCH_$(DATE).json
@@ -66,8 +75,12 @@ bench-smoke:
 # plus the fixed stream handles. TestHRelationPooledAllocBudget guards the
 # pooled h-relation path of Execute: steady state must stay under half the
 # allocations of the per-call RouteHRelation it supersedes (the measured
-# delta is recorded in BENCH_2026-07-30_hrelation.json).
+# delta is recorded in BENCH_2026-07-30_hrelation.json). The tracing layer
+# rides the same gate: span recording, the tracer's pooled Start/Finish
+# cycle, plan-time Observe on an existing key, and a traced plan-cache hit
+# must all stay at 0 allocs/op.
 alloc-guard:
 	go test -run 'TestFactorizerAllocBudget|TestStreamAllocBudget|TestMatcherSteadyStateAllocFree|TestSplitterSteadyStateAllocFree' \
 		-count=1 ./internal/edgecolor ./internal/matching ./internal/graph
-	go test -run 'TestRouteStreamAllocBudget|TestHRelationPooledAllocBudget' -count=1 .
+	go test -run 'TestSpanAllocBudget|TestPlanTimesObserveAllocBudget' -count=1 ./internal/obs
+	go test -run 'TestRouteStreamAllocBudget|TestHRelationPooledAllocBudget|TestCachedHitSpanAllocBudget' -count=1 .

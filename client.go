@@ -53,6 +53,32 @@ func NewServiceClient(baseURL string, hc *http.Client) *ServiceClient {
 	return &ServiceClient{base: strings.TrimRight(baseURL, "/"), hc: hc}
 }
 
+// reqIDCtxKey carries a caller-chosen request ID through a context.
+type reqIDCtxKey struct{}
+
+// ContextWithRequestID returns a context that makes ServiceClient calls
+// carry id as the X-Request-Id header, so a caller's own correlation ID
+// follows the request through popsproxy and popsserved — it is echoed in
+// the response header, the response's request_id field, the stream meta
+// record, and both servers' GET /debug/slow breakdowns. Without it the
+// serving side assigns an ID of its own.
+func ContextWithRequestID(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, reqIDCtxKey{}, id)
+}
+
+// RequestIDFromContext returns the request ID attached by
+// ContextWithRequestID, or "".
+func RequestIDFromContext(ctx context.Context) string {
+	if ctx == nil {
+		return ""
+	}
+	id, _ := ctx.Value(reqIDCtxKey{}).(string)
+	return id
+}
+
 // Do posts one ServiceRouteRequest and returns the decoded response. It is
 // the general form behind Route and RouteBatch: callers use it to select a
 // strategy or ask for full schedules (IncludeSchedule).
@@ -212,6 +238,9 @@ func (c *ServiceClient) DoStream(ctx context.Context, req *ServiceRouteRequest) 
 		return nil, err
 	}
 	httpReq.Header.Set("Content-Type", "application/json")
+	if id := RequestIDFromContext(ctx); id != "" {
+		httpReq.Header.Set("X-Request-Id", id)
+	}
 	resp, err := c.hc.Do(httpReq)
 	if err != nil {
 		return nil, fmt.Errorf("pops: service request /route/stream: %w", err)
@@ -330,6 +359,9 @@ func (c *ServiceClient) post(ctx context.Context, path string, body []byte, out 
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if id := RequestIDFromContext(ctx); id != "" {
+		req.Header.Set("X-Request-Id", id)
+	}
 	return c.roundTrip(req, out)
 }
 

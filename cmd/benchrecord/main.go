@@ -40,9 +40,29 @@ type benchFile struct {
 	Goarch     string        `json:"goarch"`
 	CPU        string        `json:"cpu"`
 	Gomaxprocs int           `json:"gomaxprocs"`
+	GoVersion  string        `json:"go_version"`
+	GitCommit  string        `json:"git_commit,omitempty"`
 	Command    string        `json:"command"`
 	Benchmarks []benchResult `json:"benchmarks"`
 	Notes      []string      `json:"notes,omitempty"`
+}
+
+// gitCommit returns the current HEAD hash (with a "-dirty" suffix when the
+// tree has uncommitted changes), or "" outside a git checkout — baselines
+// should still record fine from an exported tarball.
+func gitCommit() string {
+	out, err := exec.Command("git", "rev-parse", "--short=12", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	commit := strings.TrimSpace(string(out))
+	if commit == "" {
+		return ""
+	}
+	if status, err := exec.Command("git", "status", "--porcelain").Output(); err == nil && len(strings.TrimSpace(string(status))) > 0 {
+		commit += "-dirty"
+	}
+	return commit
 }
 
 type notesFlag []string
@@ -96,6 +116,8 @@ func main() {
 		Goarch:     runtime.GOARCH,
 		CPU:        cpuModel,
 		Gomaxprocs: procs,
+		GoVersion:  runtime.Version(),
+		GitCommit:  gitCommit(),
 		Command:    "go " + strings.Join(args, " "),
 		Benchmarks: results,
 		Notes:      notes,

@@ -30,6 +30,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -38,6 +39,20 @@ import (
 
 	"pops/internal/cluster"
 )
+
+// debugHandler builds the optional -debug-addr surface: net/http/pprof under
+// /debug/pprof/ plus a mirror of /metrics, kept off the serving listener so
+// profiling traffic cannot contend with proxied traffic.
+func debugHandler(metrics http.Handler) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("GET /metrics", metrics)
+	return mux
+}
 
 func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -63,6 +78,8 @@ func run(ctx context.Context, args []string, stdout io.Writer, ready chan<- net.
 		failAfter      = fs.Int("fail-after", 2, "consecutive failed probes before a backend is ejected")
 		retries        = fs.Int("retries", 2, "failover attempts after a connection error")
 		retryBackoff   = fs.Duration("retry-backoff", 10*time.Millisecond, "backoff before the first failover attempt (doubles per attempt)")
+		slow           = fs.Int("slow", 64, "slowest traced requests retained for GET /debug/slow")
+		debugAddr      = fs.String("debug-addr", "", "optional second listener serving net/http/pprof and /metrics")
 		drainWait      time.Duration
 	)
 	fs.DurationVar(&drainWait, "drain-timeout", 10*time.Second, "graceful shutdown deadline for open connections")
@@ -88,6 +105,7 @@ func run(ctx context.Context, args []string, stdout io.Writer, ready chan<- net.
 		FailAfter:      *failAfter,
 		Retries:        *retries,
 		RetryBackoff:   *retryBackoff,
+		SlowRequests:   *slow,
 	})
 	if err != nil {
 		return err
@@ -99,6 +117,17 @@ func run(ctx context.Context, args []string, stdout io.Writer, ready chan<- net.
 		return err
 	}
 	srv := &http.Server{Handler: proxy.Handler()}
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			ln.Close()
+			proxy.Close()
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		defer dln.Close()
+		fmt.Fprintf(stdout, "popsproxy: debug listener (pprof, /metrics) on %s\n", dln.Addr())
+		go func() { _ = http.Serve(dln, debugHandler(proxy.Metrics())) }()
+	}
 	fmt.Fprintf(stdout, "popsproxy: listening on %s, %d backend(s) on the ring (replicas=%d fail-after=%d retries=%d)\n",
 		ln.Addr(), len(urls), *replicas, *failAfter, *retries)
 	if ready != nil {

@@ -35,6 +35,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -43,6 +44,21 @@ import (
 	"pops"
 	"pops/internal/service"
 )
+
+// debugHandler builds the optional -debug-addr surface: net/http/pprof under
+// /debug/pprof/ plus a mirror of /metrics, kept off the serving listener so
+// profiling traffic cannot contend with routing traffic (and so operators
+// can firewall it separately).
+func debugHandler(metrics http.Handler) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("GET /metrics", metrics)
+	return mux
+}
 
 func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -68,6 +84,8 @@ func run(ctx context.Context, args []string, stdout io.Writer, ready chan<- net.
 		maxShards  = fs.Int("max-shards", 64, "live planner shards (LRU bound)")
 		par        = fs.Int("parallelism", 0, "workers per shard batch (0 = GOMAXPROCS)")
 		verify     = fs.Bool("verify", false, "replay every schedule on the simulator before serving it")
+		slow       = fs.Int("slow", 64, "slowest traced requests retained for GET /debug/slow")
+		debugAddr  = fs.String("debug-addr", "", "optional second listener serving net/http/pprof and /metrics")
 		drainWait  time.Duration
 	)
 	// -drain-timeout bounds graceful shutdown: a wedged connection — a
@@ -107,8 +125,19 @@ func run(ctx context.Context, args []string, stdout io.Writer, ready chan<- net.
 		BatchDelay:     *batchDelay,
 		CacheSize:      cacheSize,
 		PlannerOptions: opts,
+		SlowRequests:   *slow,
 	})
 	srv := &http.Server{Handler: svc.Handler()}
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			ln.Close()
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		defer dln.Close()
+		fmt.Fprintf(stdout, "popsserved: debug listener (pprof, /metrics) on %s\n", dln.Addr())
+		go func() { _ = http.Serve(dln, debugHandler(svc.Metrics())) }()
+	}
 	fmt.Fprintf(stdout, "popsserved: listening on %s (batch=%d delay=%s cache=%d shards≤%d)\n",
 		ln.Addr(), *batch, *batchDelay, *cache, *maxShards)
 	if ready != nil {

@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"pops"
+	"pops/internal/obs"
 	"pops/internal/wire"
 )
 
@@ -66,6 +67,9 @@ type Config struct {
 	// Client is the HTTP client shared by placement traffic and health
 	// probes. Default: a dedicated client with a pooled transport.
 	Client *http.Client
+	// SlowRequests is how many of the slowest proxied requests the tracer
+	// retains for GET /debug/slow. Default 64.
+	SlowRequests int
 }
 
 func (c Config) withDefaults() Config {
@@ -111,13 +115,22 @@ type backend struct {
 	streams   atomic.Uint64 // streams the proxy placed here
 	failovers atomic.Uint64 // requests that left here for the next owner
 	errors    atomic.Uint64 // connection errors observed here
+	ejections atomic.Uint64 // healthy -> ejected transitions
 }
 
 // markDown ejects the backend immediately (live-traffic connection error):
 // re-admission requires a fresh successful health probe.
 func (b *backend) markDown(failAfter int) {
 	b.fails.Store(int32(failAfter))
-	b.healthy.Store(false)
+	b.eject()
+}
+
+// eject flips the backend unhealthy, counting only the transition — repeated
+// failures of an already-ejected node are not new ejections.
+func (b *backend) eject() {
+	if b.healthy.CompareAndSwap(true, false) {
+		b.ejections.Add(1)
+	}
 }
 
 // Proxy is the cluster front door. Create one with New, mount Handler on an
@@ -138,6 +151,13 @@ type Proxy struct {
 	stop       chan struct{}
 	healthDone chan struct{}
 	inflight   sync.WaitGroup // in-flight proxied HTTP requests and streams
+
+	// tracer owns proxy-side request spans (forward and encode phases,
+	// backend attribution) and the /debug/slow ring; latency is the proxy's
+	// own end-to-end /route histogram; metrics the /metrics registry.
+	tracer  *obs.Tracer
+	latency obs.Histogram
+	metrics *obs.Registry
 }
 
 // Proxy answers for the fleet exactly as ServiceClient answers for one node.
@@ -170,9 +190,20 @@ func New(cfg Config) (*Proxy, error) {
 		ids = append(ids, id)
 	}
 	p.ring = newRing(ids, cfg.Replicas)
+	p.tracer = obs.NewTracer(cfg.SlowRequests)
+	p.metrics = obs.NewRegistry()
+	p.metrics.Register(p.collectMetrics)
 	go p.healthLoop()
 	return p, nil
 }
+
+// Tracer exposes the proxy's tracer, so the binary can mirror /debug/slow on
+// a separate debug listener.
+func (p *Proxy) Tracer() *obs.Tracer { return p.tracer }
+
+// Metrics exposes the /metrics registry, so the binary can mirror it on a
+// separate debug listener.
+func (p *Proxy) Metrics() *obs.Registry { return p.metrics }
 
 // Close stops the health checker, stops admitting HTTP requests, and waits
 // for in-flight proxied requests and streams to finish — the drain half of
@@ -213,7 +244,7 @@ func (p *Proxy) probeAll() {
 			defer cancel()
 			if err := b.client.Healthz(ctx); err != nil {
 				if b.fails.Add(1) >= int32(p.cfg.FailAfter) {
-					b.healthy.Store(false)
+					b.eject()
 				}
 				return
 			}
@@ -373,6 +404,7 @@ func (p *Proxy) Backends() []wire.BackendStats {
 			Streams:   b.streams.Load(),
 			Failovers: b.failovers.Load(),
 			Errors:    b.errors.Load(),
+			Ejections: b.ejections.Load(),
 		}
 	}
 	return out

@@ -11,6 +11,7 @@ import (
 	"strconv"
 
 	"pops"
+	"pops/internal/obs"
 	"pops/internal/wire"
 )
 
@@ -28,15 +29,32 @@ const maxRequestBody = 64 << 20
 //	                    re-framed chunk by chunk, never buffering the plan
 //	GET  /slots         any owner (pure function of the shape)
 //	GET  /stats         fleet aggregate with per-backend breakdown
+//	GET  /metrics       Prometheus text exposition, backends labeled by id
+//	GET  /debug/slow    slowest proxied requests with phase breakdowns
 //	GET  /healthz       "ok" while ≥1 backend is admitted to placement
+//
+// Every proxied request carries an X-Request-Id — the client's if it sent
+// one, a generated one otherwise — forwarded on the backend hop and echoed
+// in the proxy's response headers, so one ID follows a request across tiers.
 func (p *Proxy) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /route", p.handleRoute)
 	mux.HandleFunc("POST /route/stream", p.handleRouteStream)
 	mux.HandleFunc("GET /slots", p.handleSlots)
 	mux.HandleFunc("GET /stats", p.handleStats)
+	mux.Handle("GET /metrics", p.metrics)
+	mux.HandleFunc("GET /debug/slow", p.handleSlow)
 	mux.HandleFunc("GET /healthz", p.handleHealthz)
 	return mux
+}
+
+// requestID resolves the request's ID: the caller's X-Request-Id when
+// present, else a fresh one.
+func requestID(r *http.Request) string {
+	if id := r.Header.Get("X-Request-Id"); id != "" {
+		return id
+	}
+	return obs.NewRequestID()
 }
 
 // enter admits one proxied request into the drain group; it reports false —
@@ -96,18 +114,25 @@ func requestKey(req *wire.RouteRequest) uint64 {
 // forward posts body to path on the owners of key in failover order and
 // returns the first reachable backend's response (any status: non-2xx
 // answers are deterministic and are relayed, not retried). The caller owns
-// the response body.
-func (p *Proxy) forward(ctx context.Context, key uint64, path string, body []byte, stream bool) (*http.Response, error) {
+// the response body. The request ID travels on the backend hop as
+// X-Request-Id, and sp (nil-safe) records which backend ultimately answered;
+// attempts run sequentially on the calling goroutine, so the last write
+// wins without synchronization.
+func (p *Proxy) forward(ctx context.Context, key uint64, path string, body []byte, stream bool, id string, sp *obs.Span) (*http.Response, error) {
 	return tryOwners(p, ctx, key, func(b *backend) (*http.Response, error) {
 		b.requests.Add(1)
 		if stream {
 			b.streams.Add(1)
+		}
+		if sp != nil {
+			sp.Backend = b.id
 		}
 		req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.id+path, bytes.NewReader(body))
 		if err != nil {
 			return nil, err
 		}
 		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("X-Request-Id", id)
 		return p.cfg.Client.Do(req)
 	})
 }
@@ -138,20 +163,34 @@ func (p *Proxy) handleRoute(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	ctx := r.Context()
-	resp, err := p.forward(ctx, requestKey(&req), "/route", body, false)
+	id := requestID(r)
+	w.Header().Set("X-Request-Id", id)
+	sp := p.tracer.Start(id, req.D, req.G)
+	sp.Strategy = req.Strategy
+	sp.Workload = req.Workload
+	sp.Begin(obs.PhaseForward)
+	resp, err := p.forward(ctx, requestKey(&req), "/route", body, false, id, sp)
+	sp.End()
 	if err != nil {
 		forwardError(w, ctx, err)
+		p.latency.Observe(p.tracer.Finish(sp))
 		return
 	}
 	defer resp.Body.Close()
 	relayHeader(w, resp)
+	sp.Begin(obs.PhaseEncode)
 	_, _ = io.Copy(w, resp.Body) // mid-copy failures mean the caller went away
+	p.latency.Observe(p.tracer.Finish(sp))
 }
 
-// relayHeader copies the backend's content type and status through.
+// relayHeader copies the backend's content type, request ID, and status
+// through.
 func relayHeader(w http.ResponseWriter, resp *http.Response) {
 	if ct := resp.Header.Get("Content-Type"); ct != "" {
 		w.Header().Set("Content-Type", ct)
+	}
+	if id := resp.Header.Get("X-Request-Id"); id != "" {
+		w.Header().Set("X-Request-Id", id)
 	}
 	w.WriteHeader(resp.StatusCode)
 }
@@ -179,20 +218,31 @@ func (p *Proxy) handleRouteStream(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	ctx := r.Context()
-	resp, err := p.forward(ctx, requestKey(&req), "/route/stream", body, true)
+	id := requestID(r)
+	w.Header().Set("X-Request-Id", id)
+	sp := p.tracer.Start(id, req.D, req.G)
+	sp.Strategy = req.Strategy
+	sp.Workload = req.Workload
+	// Stream spans feed the slow ring only, not the latency histogram: a
+	// stream's wall clock is dominated by how fast the caller reads.
+	defer p.tracer.Finish(sp)
+	sp.Begin(obs.PhaseForward)
+	resp, err := p.forward(ctx, requestKey(&req), "/route/stream", body, true, id, sp)
+	sp.End()
 	if err != nil {
 		forwardError(w, ctx, err)
 		return
 	}
 	defer resp.Body.Close()
+	// Relay the backend's response headers — content type and X-Request-Id —
+	// for every status: a stream answered 200 used to overwrite them with a
+	// hardcoded content type, dropping the backend's request-ID echo.
+	relayHeader(w, resp)
 	if resp.StatusCode != http.StatusOK {
-		relayHeader(w, resp)
 		_, _ = io.Copy(w, resp.Body)
 		return
 	}
 
-	w.Header().Set("Content-Type", "application/x-ndjson")
-	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
 	br := bufio.NewReader(resp.Body)
 	for {
@@ -200,11 +250,14 @@ func (p *Proxy) handleRouteStream(w http.ResponseWriter, r *http.Request) {
 		// Relay only complete records: a partial line truncated by a backend
 		// failure is dropped, and the failure surfaces as an error record.
 		if len(line) > 0 && line[len(line)-1] == '\n' {
-			if _, werr := w.Write(line); werr != nil {
-				return // the caller went away; the deferred Close hangs up upstream
-			}
+			sp.Begin(obs.PhaseEncode)
+			_, werr := w.Write(line)
 			if flusher != nil {
 				flusher.Flush()
+			}
+			sp.End()
+			if werr != nil {
+				return // the caller went away; the deferred Close hangs up upstream
 			}
 		}
 		if err == io.EOF {
@@ -261,6 +314,25 @@ func (p *Proxy) handleStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, stats)
+}
+
+// handleSlow serves GET /debug/slow: the slowest proxied requests, worst
+// first, with forward/encode phase breakdowns and the answering backend's
+// identity. ?n= bounds the list.
+func (p *Proxy) handleSlow(w http.ResponseWriter, r *http.Request) {
+	limit := 0
+	if q := r.URL.Query().Get("n"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 0 {
+			http.Error(w, "cluster: /debug/slow?n= takes a non-negative integer", http.StatusBadRequest)
+			return
+		}
+		limit = n
+	}
+	writeJSON(w, wire.SlowResponse{
+		Server:   "popsproxy",
+		Requests: p.tracer.Slow.Snapshot(limit),
+	})
 }
 
 func (p *Proxy) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,73 @@
+package cluster
+
+import (
+	"pops/internal/obs"
+)
+
+// collectMetrics renders the proxy's own counters in Prometheus text
+// exposition format: per-backend placement series labeled by backend
+// identity — so failovers and ejections are attributable to the node that
+// caused them — plus fleet-level aggregates and the proxy's end-to-end
+// /route latency histogram. It runs on every GET /metrics scrape against
+// the live counters; backend-reported metrics are not re-exported here
+// (scrape the backends, or read the fleet-merged GET /stats).
+func (p *Proxy) collectMetrics(mw *obs.MetricWriter) {
+	var healthy, requests, streams, failovers, errors, ejections uint64
+	for _, b := range p.backends {
+		if b.healthy.Load() {
+			healthy++
+		}
+		requests += b.requests.Load()
+		streams += b.streams.Load()
+		failovers += b.failovers.Load()
+		errors += b.errors.Load()
+		ejections += b.ejections.Load()
+	}
+
+	mw.Gauge("pops_fleet_backends", "Backends configured on the ring.")
+	mw.Value("", float64(len(p.backends)))
+	mw.Gauge("pops_fleet_healthy_backends", "Backends currently admitted to placement.")
+	mw.Value("", float64(healthy))
+	mw.Counter("pops_fleet_requests_total", "Requests the proxy placed, summed across backends.")
+	mw.Value("", float64(requests))
+	mw.Counter("pops_fleet_streams_total", "Slot streams the proxy placed, summed across backends.")
+	mw.Value("", float64(streams))
+	mw.Counter("pops_fleet_failovers_total", "Placements that left their ring owner for a successor.")
+	mw.Value("", float64(failovers))
+	mw.Counter("pops_fleet_errors_total", "Connection errors observed across backends.")
+	mw.Value("", float64(errors))
+	mw.Counter("pops_fleet_ejections_total", "Healthy-to-ejected backend transitions.")
+	mw.Value("", float64(ejections))
+
+	mw.Gauge("pops_proxy_backend_healthy", "Whether the backend is admitted to placement (1) or ejected (0).")
+	for _, b := range p.backends {
+		v := 0.0
+		if b.healthy.Load() {
+			v = 1
+		}
+		mw.Value(obs.Labels("backend", b.id), v)
+	}
+	mw.Counter("pops_proxy_backend_requests_total", "Requests placed on the backend.")
+	for _, b := range p.backends {
+		mw.Value(obs.Labels("backend", b.id), float64(b.requests.Load()))
+	}
+	mw.Counter("pops_proxy_backend_streams_total", "Slot streams placed on the backend.")
+	for _, b := range p.backends {
+		mw.Value(obs.Labels("backend", b.id), float64(b.streams.Load()))
+	}
+	mw.Counter("pops_proxy_backend_failovers_total", "Requests that left the backend for the next ring owner.")
+	for _, b := range p.backends {
+		mw.Value(obs.Labels("backend", b.id), float64(b.failovers.Load()))
+	}
+	mw.Counter("pops_proxy_backend_errors_total", "Connection errors observed on the backend.")
+	for _, b := range p.backends {
+		mw.Value(obs.Labels("backend", b.id), float64(b.errors.Load()))
+	}
+	mw.Counter("pops_proxy_backend_ejections_total", "Healthy-to-ejected transitions of the backend.")
+	for _, b := range p.backends {
+		mw.Value(obs.Labels("backend", b.id), float64(b.ejections.Load()))
+	}
+
+	mw.HistogramFamily("pops_proxy_request_latency_seconds", "Proxy end-to-end /route latency (forward plus relay).")
+	mw.Histogram("", p.latency.Snapshot(), p.latency.Sum())
+}

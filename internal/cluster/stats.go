@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"context"
+	"sort"
 	"sync"
 
 	"pops/internal/wire"
@@ -53,9 +54,58 @@ func (p *Proxy) Stats(ctx context.Context) (*wire.StatsResponse, error) {
 		agg.Unroutable += s.Unroutable
 		agg.Latency = mergeBuckets(agg.Latency, s.Latency)
 		agg.TimeToFirstSlot = mergeBuckets(agg.TimeToFirstSlot, s.TimeToFirstSlot)
+		agg.PlanTimes = mergePlanTimes(agg.PlanTimes, s.PlanTimes)
 		agg.Shards = append(agg.Shards, s.Shards...)
 	}
+	sortPlanTimes(agg.PlanTimes)
 	return agg, nil
+}
+
+// mergePlanTimes folds one node's per-(d, g, strategy) plan-time table into
+// the fleet aggregate: counts and sums add, histograms merge bucket-wise,
+// and the EWMA becomes the count-weighted mean of the nodes' EWMAs — not a
+// true fleet EWMA (observation order across nodes is gone), but an estimate
+// weighted toward the nodes doing the planning, which is what a cost model
+// reading the aggregate wants.
+func mergePlanTimes(dst, src []wire.PlanTimeStat) []wire.PlanTimeStat {
+	for _, s := range src {
+		merged := false
+		for i := range dst {
+			d := &dst[i]
+			if d.D != s.D || d.G != s.G || d.Strategy != s.Strategy {
+				continue
+			}
+			if d.Count+s.Count > 0 {
+				d.EWMAMicros = (d.EWMAMicros*float64(d.Count) + s.EWMAMicros*float64(s.Count)) / float64(d.Count+s.Count)
+			}
+			d.Count += s.Count
+			d.CacheHits += s.CacheHits
+			d.SumMicros += s.SumMicros
+			d.Buckets = mergeBuckets(d.Buckets, s.Buckets)
+			merged = true
+			break
+		}
+		if !merged {
+			cp := s
+			cp.Buckets = append([]wire.LatencyBucket(nil), s.Buckets...)
+			dst = append(dst, cp)
+		}
+	}
+	return dst
+}
+
+// sortPlanTimes restores the (d, g, strategy) order individual nodes emit,
+// so the fleet aggregate is stable regardless of which backends answered.
+func sortPlanTimes(pts []wire.PlanTimeStat) {
+	sort.Slice(pts, func(a, b int) bool {
+		if pts[a].D != pts[b].D {
+			return pts[a].D < pts[b].D
+		}
+		if pts[a].G != pts[b].G {
+			return pts[a].G < pts[b].G
+		}
+		return pts[a].Strategy < pts[b].Strategy
+	})
 }
 
 // mergeBuckets sums src into dst bucket-wise. Every node emits the same

@@ -32,12 +32,24 @@ package core
 import (
 	"fmt"
 	"runtime"
+	"time"
 
 	"pops/internal/edgecolor"
 	"pops/internal/fairdist"
 	"pops/internal/perms"
 	"pops/internal/popsnet"
 )
+
+// PlanObserver receives one observation per planned workload: the resolved
+// strategy that produced the plan, whether it was answered from the plan
+// cache, and how long planning (or the cache hit) took. The public layer
+// invokes it on every Route/Execute/stream completion; the serving layer
+// installs an observer that feeds the per-(d, g, strategy) plan-time table
+// behind /stats and /metrics. Implementations must be safe for concurrent
+// use and should not block.
+type PlanObserver interface {
+	ObservePlan(strategy string, cached bool, d time.Duration)
+}
 
 // Options configures the planner.
 type Options struct {
@@ -62,6 +74,11 @@ type Options struct {
 	// Planner to this many entries (LRU). Zero or negative disables caching.
 	// The cache lives in the public layer; core planners always plan.
 	PlanCache int
+	// Observer, when non-nil, is notified of every planned workload with its
+	// resolved strategy, cache verdict, and measured planning time. Like the
+	// cache, observation happens in the public layer; core planners never
+	// call it themselves.
+	Observer PlanObserver
 }
 
 // snapshotPerm resolves Plan permutation ownership: by default the

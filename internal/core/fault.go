@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"pops/internal/edgecolor"
+	"pops/internal/obs"
 	"pops/internal/perms"
 	"pops/internal/popsnet"
 )
@@ -70,6 +71,11 @@ func (pl *Planner) PlanFaulty(ctx context.Context, pi []int, fs popsnet.FaultSet
 		return nil, err
 	}
 
+	// The whole fault path — base coloring plus the repair passes — is the
+	// fault-repair phase on the trace span; the normal-planner delegation
+	// above records plain factorize time instead.
+	sp := obs.SpanFromContext(ctx)
+	sp.Begin(obs.PhaseFaultRepair)
 	var plan *Plan
 	if nw.D == 1 {
 		plan, err = pl.planFaultyDirect(pi, fs, fn)
@@ -79,10 +85,13 @@ func (pl *Planner) PlanFaulty(ctx context.Context, pi []int, fs popsnet.FaultSet
 	if err != nil {
 		return nil, err
 	}
+	sp.End()
 	if pl.opts.Verify {
+		sp.Begin(obs.PhaseVerify)
 		if _, err := plan.Verify(); err != nil {
 			return nil, fmt.Errorf("core: fault schedule failed verification: %w", err)
 		}
+		sp.End()
 	}
 	return plan, nil
 }

@@ -7,6 +7,7 @@ import (
 
 	"pops/internal/edgecolor"
 	"pops/internal/graph"
+	"pops/internal/obs"
 	"pops/internal/perms"
 	"pops/internal/popsnet"
 )
@@ -158,6 +159,11 @@ func (pl *Planner) PlanCtx(ctx context.Context, pi []int) (*Plan, error) {
 		return nil, fmt.Errorf("core: %w", err)
 	}
 
+	// Phase attribution: demand build + coloring + schedule assembly are the
+	// factorize phase, the optional simulator replay the verify phase. A span
+	// left with an open phase by an error return is closed by its Finish.
+	sp := obs.SpanFromContext(ctx)
+	sp.Begin(obs.PhaseFactorize)
 	var plan *Plan
 	if nw.D == 1 {
 		sched, err := directSchedule(nw, pi)
@@ -186,10 +192,13 @@ func (pl *Planner) PlanCtx(ctx context.Context, pi []int) (*Plan, error) {
 			return nil, err
 		}
 	}
+	sp.End()
 	if pl.opts.Verify {
+		sp.Begin(obs.PhaseVerify)
 		if _, err := plan.Verify(); err != nil {
 			return nil, fmt.Errorf("core: schedule failed verification: %w", err)
 		}
+		sp.End()
 	}
 	return plan, nil
 }

@@ -4,9 +4,11 @@ import (
 	"context"
 	"fmt"
 	"slices"
+	"time"
 
 	"pops/internal/edgecolor"
 	"pops/internal/graph"
+	"pops/internal/obs"
 	"pops/internal/perms"
 	"pops/internal/popsnet"
 )
@@ -48,6 +50,7 @@ type StreamedSlot struct {
 type PlanStream struct {
 	pl     *Planner
 	ctx    context.Context
+	span   *obs.Span // trace span carried by ctx at Start, nil when untraced
 	pi     []int
 	colors []int
 	sched  *popsnet.Schedule
@@ -90,7 +93,11 @@ func (pl *Planner) StartPlanCtx(ctx context.Context, pi []int) (*PlanStream, err
 	if err := perms.ValidateInto(pi, pl.seen); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	ps := &PlanStream{pl: pl, ctx: ctx, pi: pl.opts.snapshotPerm(pi)}
+	ps := &PlanStream{pl: pl, ctx: ctx, span: obs.SpanFromContext(ctx), pi: pl.opts.snapshotPerm(pi)}
+	// Stream setup (demand build, schedule preallocation, coloring kickoff)
+	// and each peeled factor count as factorize time on the trace span.
+	setupStart := time.Now()
+	defer func() { ps.span.Add(obs.PhaseFactorize, time.Since(setupStart)) }()
 	if nw.D == 1 {
 		sched, err := directSchedule(nw, ps.pi)
 		if err != nil {
@@ -170,6 +177,7 @@ func (ps *PlanStream) Next() (StreamedSlot, bool) {
 		return StreamedSlot{Slot: 0, Color: -1, Final: true, Sends: slot.Sends, Recvs: slot.Recvs}, true
 	}
 
+	factorStart := time.Now()
 	c, ok, err := ps.stream.Next(ps.colors)
 	if err != nil {
 		ps.err = fmt.Errorf("core: coloring demand graph: %w", err)
@@ -223,6 +231,7 @@ func (ps *PlanStream) Next() (StreamedSlot, bool) {
 	}
 	ps.hasPending = true
 	ps.emitted++
+	ps.span.Add(obs.PhaseFactorize, time.Since(factorStart))
 	return frag1, true
 }
 
@@ -254,10 +263,12 @@ func (ps *PlanStream) Collect() (*Plan, error) {
 		return nil, ps.err
 	}
 	if ps.pl.opts.Verify && !ps.verified {
+		ps.span.Begin(obs.PhaseVerify)
 		if _, err := ps.plan.Verify(); err != nil {
 			ps.err = fmt.Errorf("core: schedule failed verification: %w", err)
 			return nil, ps.err
 		}
+		ps.span.End()
 		ps.verified = true
 	}
 	return ps.plan, nil

@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// PromContentType is the Prometheus text exposition content type both
+// binaries answer GET /metrics with.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// MetricWriter renders metric families in Prometheus text exposition format
+// (version 0.0.4). Usage: open a family with Counter/Gauge/HistogramFamily —
+// which emits the # HELP and # TYPE header lines once — then emit one sample
+// per label set. Errors are sticky and surfaced by Err, so collectors can
+// write unconditionally.
+type MetricWriter struct {
+	w    io.Writer
+	name string
+	err  error
+}
+
+// NewMetricWriter wraps w.
+func NewMetricWriter(w io.Writer) *MetricWriter { return &MetricWriter{w: w} }
+
+// Err returns the first write error, if any.
+func (mw *MetricWriter) Err() error { return mw.err }
+
+func (mw *MetricWriter) printf(format string, args ...any) {
+	if mw.err != nil {
+		return
+	}
+	_, mw.err = fmt.Fprintf(mw.w, format, args...)
+}
+
+func (mw *MetricWriter) family(name, typ, help string) {
+	mw.name = name
+	mw.printf("# HELP %s %s\n# TYPE %s %s\n", name, escapeHelp(help), name, typ)
+}
+
+// Counter opens a counter family.
+func (mw *MetricWriter) Counter(name, help string) { mw.family(name, "counter", help) }
+
+// Gauge opens a gauge family.
+func (mw *MetricWriter) Gauge(name, help string) { mw.family(name, "gauge", help) }
+
+// HistogramFamily opens a histogram family; emit samples with Histogram.
+func (mw *MetricWriter) HistogramFamily(name, help string) { mw.family(name, "histogram", help) }
+
+// Value emits one sample of the open family. labels is a pre-rendered
+// `k="v",k="v"` list (see Labels) or "" for an unlabeled sample.
+func (mw *MetricWriter) Value(labels string, v float64) {
+	if labels == "" {
+		mw.printf("%s %s\n", mw.name, formatFloat(v))
+		return
+	}
+	mw.printf("%s{%s} %s\n", mw.name, labels, formatFloat(v))
+}
+
+// Histogram emits one histogram sample of the open family from a bucket
+// snapshot: cumulative `_bucket` series with `le` in seconds (the power-of-
+// two microsecond bounds converted, the unbounded bucket as +Inf), then
+// `_sum` and `_count`.
+func (mw *MetricWriter) Histogram(labels string, buckets []Bucket, sum time.Duration) {
+	var cum uint64
+	for _, b := range buckets {
+		cum += b.Count
+		le := "+Inf"
+		if b.LEMicros != 0 {
+			le = formatFloat(float64(b.LEMicros) / 1e6)
+		}
+		sep := ""
+		if labels != "" {
+			sep = ","
+		}
+		mw.printf("%s_bucket{%s%sle=\"%s\"} %d\n", mw.name, labels, sep, le, cum)
+	}
+	if labels == "" {
+		mw.printf("%s_sum %s\n%s_count %d\n", mw.name, formatFloat(sum.Seconds()), mw.name, cum)
+		return
+	}
+	mw.printf("%s_sum{%s} %s\n%s_count{%s} %d\n", mw.name, labels, formatFloat(sum.Seconds()), mw.name, labels, cum)
+}
+
+// Labels renders a label list from alternating key/value pairs, escaping
+// values per the exposition format.
+func Labels(kv ...string) string {
+	var sb strings.Builder
+	for i := 0; i+1 < len(kv); i += 2 {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(kv[i])
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(kv[i+1]))
+		sb.WriteByte('"')
+	}
+	return sb.String()
+}
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+func escapeLabel(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+func escapeHelp(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+// Registry is the process's metrics registry: named collectors that render
+// their families on every scrape (expvar-style — metrics are read from the
+// live counters at scrape time, never double-tracked). It is an
+// http.Handler serving GET /metrics.
+type Registry struct {
+	mu         sync.Mutex
+	collectors []func(*MetricWriter)
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Register appends a collector. Collectors run in registration order on
+// every scrape; each must emit complete families (header plus samples).
+func (r *Registry) Register(collect func(*MetricWriter)) {
+	r.mu.Lock()
+	r.collectors = append(r.collectors, collect)
+	r.mu.Unlock()
+}
+
+// Render writes every registered collector to w.
+func (r *Registry) Render(w io.Writer) error {
+	mw := NewMetricWriter(w)
+	r.mu.Lock()
+	collectors := append([]func(*MetricWriter){}, r.collectors...)
+	r.mu.Unlock()
+	for _, c := range collectors {
+		c(mw)
+	}
+	return mw.Err()
+}
+
+// ServeHTTP answers GET /metrics.
+func (r *Registry) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", PromContentType)
+	_ = r.Render(w)
+}

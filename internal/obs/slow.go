@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// SlowRing keeps the slowest requests seen so far: a fixed set of slots,
+// each holding an immutable snapshot behind an atomic pointer, with an
+// atomic floor (the smallest retained total) for fast rejection. The common
+// case — a request faster than everything retained — costs one atomic load
+// and no allocation; only a request slow enough to enter the ring builds a
+// snapshot. Writers never block readers and vice versa. Under concurrent
+// insertion the ring is deliberately lossy (two racing writers may evict
+// each other's victim choice); it is a monitoring aid, not a ledger.
+type SlowRing struct {
+	slots []atomic.Pointer[SpanSnapshot]
+	floor atomic.Int64 // smallest retained total (ns) once the ring is full
+	full  atomic.Bool
+}
+
+// NewSlowRing builds a ring retaining the slowest n requests (n <= 0
+// selects 64).
+func NewSlowRing(n int) *SlowRing {
+	if n <= 0 {
+		n = 64
+	}
+	return &SlowRing{slots: make([]atomic.Pointer[SpanSnapshot], n)}
+}
+
+// Record offers a finished span to the ring. The span must not be mutated
+// during the call, and may be reused afterwards: the ring stores a snapshot.
+func (r *SlowRing) Record(sp *Span) {
+	if r == nil || sp == nil || len(r.slots) == 0 {
+		return
+	}
+	total := int64(sp.total)
+	if r.full.Load() && total <= r.floor.Load() {
+		return // fast path: not among the slowest — one atomic load, no alloc
+	}
+	// Pick a victim: an empty slot, else the slot with the smallest total.
+	victim := -1
+	var victimTotal int64 = -1
+	var old *SpanSnapshot
+	for i := range r.slots {
+		cur := r.slots[i].Load()
+		if cur == nil {
+			victim, old = i, nil
+			victimTotal = -1
+			break
+		}
+		t := int64(cur.TotalMicros * float64(time.Microsecond))
+		if victimTotal < 0 || t < victimTotal {
+			victim, old, victimTotal = i, cur, t
+		}
+	}
+	if victim < 0 || (old != nil && total <= victimTotal) {
+		return
+	}
+	snap := sp.Snapshot()
+	if !r.slots[victim].CompareAndSwap(old, &snap) {
+		return // lost a race with another writer; drop (lossy by design)
+	}
+	r.recompute()
+}
+
+// recompute refreshes the floor and fullness after an insertion. Racy reads
+// are fine: the floor is a heuristic gate, and Record double-checks against
+// the actual victim before replacing it.
+func (r *SlowRing) recompute() {
+	var minTotal int64 = -1
+	for i := range r.slots {
+		cur := r.slots[i].Load()
+		if cur == nil {
+			r.full.Store(false)
+			return
+		}
+		t := int64(cur.TotalMicros * float64(time.Microsecond))
+		if minTotal < 0 || t < minTotal {
+			minTotal = t
+		}
+	}
+	r.floor.Store(minTotal)
+	r.full.Store(true)
+}
+
+// Snapshot returns up to limit retained requests, slowest first (limit <= 0
+// returns all).
+func (r *SlowRing) Snapshot(limit int) []SpanSnapshot {
+	if r == nil {
+		return nil
+	}
+	out := make([]SpanSnapshot, 0, len(r.slots))
+	for i := range r.slots {
+		if cur := r.slots[i].Load(); cur != nil {
+			out = append(out, *cur)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].TotalMicros > out[b].TotalMicros })
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}
+
+// PhaseBreakdown is one phase's share of a retained request.
+type PhaseBreakdown struct {
+	Phase  string  `json:"phase"`
+	Micros float64 `json:"us"`
+}
+
+// SpanSnapshot is the immutable, wire-ready form of a finished span, served
+// by GET /debug/slow (wire.SlowRequest aliases this type). Phases lists only
+// the phases that recorded time, in taxonomy order.
+type SpanSnapshot struct {
+	ID            string           `json:"id"`
+	Backend       string           `json:"backend,omitempty"`
+	D             int              `json:"d"`
+	G             int              `json:"g"`
+	Strategy      string           `json:"strategy,omitempty"`
+	Workload      string           `json:"workload,omitempty"`
+	Cached        bool             `json:"cached,omitempty"`
+	StartUnixNano int64            `json:"start_unix_nano"`
+	TotalMicros   float64          `json:"total_us"`
+	PhaseMicros   float64          `json:"phase_total_us"`
+	Phases        []PhaseBreakdown `json:"phases"`
+}
+
+// Snapshot renders the span for retention or serving. Call only after
+// Finish.
+func (sp *Span) Snapshot() SpanSnapshot {
+	snap := SpanSnapshot{
+		ID: sp.ID, Backend: sp.Backend, D: sp.D, G: sp.G,
+		Strategy: sp.Strategy, Workload: sp.Workload, Cached: sp.Cached,
+		StartUnixNano: sp.start.UnixNano(),
+		TotalMicros:   float64(sp.total) / float64(time.Microsecond),
+		PhaseMicros:   float64(sp.PhaseTotal()) / float64(time.Microsecond),
+	}
+	for p, d := range sp.phase {
+		if d > 0 {
+			snap.Phases = append(snap.Phases, PhaseBreakdown{
+				Phase:  Phase(p).String(),
+				Micros: float64(d) / float64(time.Microsecond),
+			})
+		}
+	}
+	return snap
+}

@@ -9,6 +9,7 @@ import (
 	"strconv"
 
 	"pops"
+	"pops/internal/obs"
 	"pops/internal/wire"
 )
 
@@ -22,6 +23,8 @@ const maxRequestBody = 64 << 20
 //	POST /route/stream  stream one permutation's slots as NDJSON chunks
 //	GET  /slots         Theorem 2 slot count for ?d=&g=
 //	GET  /stats         shard, cache, batching, latency and TTFS counters
+//	GET  /metrics       Prometheus text exposition of the same counters
+//	GET  /debug/slow    the slowest traced requests with phase breakdowns
 //	GET  /healthz       liveness ("ok" until Close starts)
 //
 // Requests and responses use the JSON schema of internal/wire. Malformed
@@ -29,14 +32,30 @@ const maxRequestBody = 64 << 20
 // admitted after Close starts get 503; per-permutation planning failures
 // travel as the error field of their PlanResult under a 200 (or as an
 // "error" stream record once a stream has opened).
+//
+// Every request is assigned a request ID — the client's X-Request-Id header
+// when present, a generated one otherwise — echoed in the X-Request-Id
+// response header, the request_id field of /route responses, and the meta
+// record of /route/stream.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /route", s.handleRoute)
 	mux.HandleFunc("POST /route/stream", s.handleRouteStream)
 	mux.HandleFunc("GET /slots", s.handleSlots)
 	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.Handle("GET /metrics", s.metrics)
+	mux.HandleFunc("GET /debug/slow", s.handleSlow)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return mux
+}
+
+// requestID resolves the request's ID: the caller's X-Request-Id if it sent
+// one (a proxy hop, or a client correlating its own logs), else a fresh one.
+func requestID(r *http.Request) string {
+	if id := r.Header.Get("X-Request-Id"); id != "" {
+		return id
+	}
+	return obs.NewRequestID()
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -120,20 +139,34 @@ func (s *Service) handleRoute(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	id := requestID(r)
+	w.Header().Set("X-Request-Id", id)
 	ctx := r.Context()
-	resp := wire.RouteResponse{D: req.D, G: req.G}
+	resp := wire.RouteResponse{D: req.D, G: req.G, RequestID: id}
 	if wl != nil {
 		if req.Strategy != "" && req.Strategy != pops.StrategyTheoremTwo {
 			http.Error(w, "service: strategy selection applies to permutation workloads only", http.StatusBadRequest)
 			return
 		}
-		res, err := s.Execute(ctx, req.D, req.G, wl)
+		sp := s.tracer.Start(id, req.D, req.G)
+		sp.Workload = wl.Kind()
+		res, err := s.Execute(obs.ContextWithSpan(ctx, sp), req.D, req.G, wl)
 		if err != nil {
 			http.Error(w, err.Error(), requestStatus(err))
+			s.tracer.Abandon(sp)
 			return
 		}
+		if res.Plan != nil {
+			sp.Strategy = res.Plan.Strategy
+		}
+		sp.Cached = res.Cached
 		resp.Plans = []wire.PlanResult{workloadResult(wl, res, req.IncludeSchedule)}
+		sp.Begin(obs.PhaseEncode)
 		writeJSON(w, http.StatusOK, resp)
+		// The span total — not a separate clock — is the latency histogram
+		// observation, so the phase breakdown and the histogram describe the
+		// same measured interval (pinned by the service tests).
+		s.latency.Observe(s.tracer.Finish(sp))
 		return
 	}
 
@@ -144,24 +177,57 @@ func (s *Service) handleRoute(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if single {
-		res, err := s.Route(ctx, req.D, req.G, req.Pi, req.Strategy)
+		sp := s.tracer.Start(id, req.D, req.G)
+		res, err := s.Route(obs.ContextWithSpan(ctx, sp), req.D, req.G, req.Pi, req.Strategy)
 		if err != nil {
 			http.Error(w, err.Error(), requestStatus(err))
+			// The micro-batch entry may still be in flight and recording
+			// onto the span — never recycle it from here.
+			s.tracer.Abandon(sp)
 			return
 		}
+		if res.Plan != nil {
+			sp.Strategy = res.Plan.Strategy
+		}
+		sp.Cached = res.Cached
 		resp.Plans = []wire.PlanResult{planResult(req.Pi, res, req.IncludeSchedule)}
-	} else {
-		results, err := s.RouteMany(ctx, req.D, req.G, req.Pis, req.Strategy)
-		if err != nil {
-			http.Error(w, err.Error(), requestStatus(err))
-			return
-		}
-		resp.Plans = make([]wire.PlanResult, len(results))
-		for i, res := range results {
-			resp.Plans[i] = planResult(req.Pis[i], res, req.IncludeSchedule)
-		}
+		sp.Begin(obs.PhaseEncode)
+		writeJSON(w, http.StatusOK, resp)
+		s.latency.Observe(s.tracer.Finish(sp))
+		return
+	}
+	// Batch requests share one response but plan as independent queue
+	// entries; a single span would double-charge the concurrent waits, so
+	// batches go untraced and observe the latency histogram in RouteMany.
+	results, err := s.RouteMany(ctx, req.D, req.G, req.Pis, req.Strategy)
+	if err != nil {
+		http.Error(w, err.Error(), requestStatus(err))
+		return
+	}
+	resp.Plans = make([]wire.PlanResult, len(results))
+	for i, res := range results {
+		resp.Plans[i] = planResult(req.Pis[i], res, req.IncludeSchedule)
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleSlow serves GET /debug/slow: the slowest traced requests, worst
+// first, with per-phase timing breakdowns. ?n= bounds the list (default all
+// retained).
+func (s *Service) handleSlow(w http.ResponseWriter, r *http.Request) {
+	limit := 0
+	if q := r.URL.Query().Get("n"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 0 {
+			http.Error(w, "service: /debug/slow?n= takes a non-negative integer", http.StatusBadRequest)
+			return
+		}
+		limit = n
+	}
+	writeJSON(w, http.StatusOK, wire.SlowResponse{
+		Server:   s.cfg.Name,
+		Requests: s.tracer.Slow.Snapshot(limit),
+	})
 }
 
 // handleRouteStream serves POST /route/stream: the slot schedule of one
@@ -185,14 +251,24 @@ func (s *Service) handleRouteStream(w http.ResponseWriter, r *http.Request) {
 	// The request context is threaded all the way into the planner stream:
 	// a hung-up client cancels it, and the stream's next factor check fails
 	// with ctx.Err() — factor production stops for a plan nobody is
-	// reading, and the worker planner returns to the pool on Close.
-	ctx := r.Context()
+	// reading, and the worker planner returns to the pool on Close. The
+	// trace span rides the same context; stream planning is synchronous on
+	// this goroutine, so the span can be pooled when the handler returns.
+	id := requestID(r)
+	w.Header().Set("X-Request-Id", id)
+	sp := s.tracer.Start(id, req.D, req.G)
+	// Streams observe the latency histogram at exhaustion (Stream.finish),
+	// a planning-side signal that excludes client read speed — so the span
+	// total feeds only the slow ring here, never the histogram.
+	defer s.tracer.Finish(sp)
+	ctx := obs.ContextWithSpan(r.Context(), sp)
 	var st *Stream
 	if wl != nil {
 		if req.Strategy != "" && req.Strategy != pops.StrategyTheoremTwo {
 			http.Error(w, "service: strategy selection applies to permutation workloads only", http.StatusBadRequest)
 			return
 		}
+		sp.Workload = wl.Kind()
 		st, err = s.ExecuteStream(ctx, req.D, req.G, wl)
 	} else {
 		if len(req.Pis) > 0 || len(req.Pi) == 0 {
@@ -211,6 +287,8 @@ func (s *Service) handleRouteStream(w http.ResponseWriter, r *http.Request) {
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
 	write := func(rec wire.StreamRecord) bool {
+		sp.Begin(obs.PhaseEncode)
+		defer sp.End()
 		if err := enc.Encode(rec); err != nil {
 			return false // client went away; Close releases the worker
 		}
@@ -225,6 +303,9 @@ func (s *Service) handleRouteStream(w http.ResponseWriter, r *http.Request) {
 		return true
 	}
 	meta := st.Meta()
+	meta.RequestID = id
+	sp.Strategy = meta.Strategy
+	sp.Cached = meta.Cached
 	if !write(wire.StreamRecord{Type: "meta", Meta: &meta}) {
 		return
 	}

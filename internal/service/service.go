@@ -39,6 +39,7 @@ import (
 	"time"
 
 	"pops"
+	"pops/internal/obs"
 	"pops/internal/wire"
 )
 
@@ -64,6 +65,9 @@ type Config struct {
 	// PlannerOptions are extra options applied to every shard's planner
 	// (e.g. pops.WithVerify, pops.WithParallelism, pops.WithAlgorithm).
 	PlannerOptions []pops.Option
+	// SlowRequests is how many of the slowest requests the tracer retains
+	// for GET /debug/slow. Default 64.
+	SlowRequests int
 }
 
 func (c Config) withDefaults() Config {
@@ -113,22 +117,50 @@ type Service struct {
 	// /stats totals survive shard churn.
 	retiredHits   atomic.Uint64
 	retiredMisses atomic.Uint64
-	latency       histogram
+	latency       obs.Histogram
 
 	// Streaming state: /route/stream requests bypass the admission queues
 	// (each stream owns a worker planner), so graceful drain tracks them
 	// separately; ttfs is the time-to-first-slot histogram.
 	streams       atomic.Uint64
 	streamedSlots atomic.Uint64
-	ttfs          histogram
+	ttfs          obs.Histogram
 	streamsWG     sync.WaitGroup
+
+	// tracer owns request spans, the slowest-requests ring (/debug/slow)
+	// and the per-(d, g, strategy) plan-time table; metrics is the /metrics
+	// registry.
+	tracer  *obs.Tracer
+	metrics *obs.Registry
 }
 
 // New builds a Service with the given configuration.
 func New(cfg Config) *Service {
-	return &Service{
+	s := &Service{
 		cfg:    cfg.withDefaults(),
 		shards: make(map[shapeKey]*list.Element),
+		tracer: obs.NewTracer(cfg.SlowRequests),
+	}
+	s.metrics = obs.NewRegistry()
+	s.metrics.Register(s.collectMetrics)
+	return s
+}
+
+// Tracer exposes the service's tracer, so the binary can mirror
+// /debug/slow on a separate debug listener.
+func (s *Service) Tracer() *obs.Tracer { return s.tracer }
+
+// Metrics exposes the /metrics registry, so the binary can mirror it on a
+// separate debug listener.
+func (s *Service) Metrics() *obs.Registry { return s.metrics }
+
+// observeLatency records one request into the latency histogram — unless
+// ctx carries a trace span, in which case the HTTP layer observes the span's
+// total after encoding instead, keeping the histogram observation and the
+// span's phase breakdown two views of the same measured interval.
+func (s *Service) observeLatency(ctx context.Context, start time.Time) {
+	if obs.SpanFromContext(ctx) == nil {
+		s.latency.Observe(time.Since(start))
 	}
 }
 
@@ -188,8 +220,7 @@ func (s *Service) retire(sh *shard) {
 // strategy, service shutting down); per-permutation planning failures come
 // back in Result.Err, mirroring the batch contract.
 func (s *Service) Route(ctx context.Context, d, g int, pi []int, strategy string) (Result, error) {
-	start := time.Now()
-	defer func() { s.latency.observe(time.Since(start)) }()
+	defer s.observeLatency(ctx, time.Now())
 	s.requests.Add(1)
 	for {
 		sh, err := s.shardFor(d, g)
@@ -215,8 +246,7 @@ func (s *Service) Route(ctx context.Context, d, g int, pi []int, strategy string
 // shape, shutdown) are returned as the error; workload planning failures
 // come back in Result.Err, mirroring Route.
 func (s *Service) Execute(ctx context.Context, d, g int, w pops.Workload) (Result, error) {
-	start := time.Now()
-	defer func() { s.latency.observe(time.Since(start)) }()
+	defer s.observeLatency(ctx, time.Now())
 	s.requests.Add(1)
 	for {
 		sh, err := s.shardFor(d, g)
@@ -248,8 +278,7 @@ func (s *Service) Execute(ctx context.Context, d, g int, w pops.Workload) (Resul
 // error, mirroring the pops.Planner.RouteBatch contract. A cancelled ctx
 // abandons the wait and returns ctx.Err().
 func (s *Service) RouteMany(ctx context.Context, d, g int, pis [][]int, strategy string) ([]Result, error) {
-	start := time.Now()
-	defer func() { s.latency.observe(time.Since(start)) }()
+	defer s.observeLatency(ctx, time.Now())
 	s.requests.Add(uint64(len(pis)))
 	results := make([]Result, len(pis))
 	waiters := make([]chan Result, len(pis))
@@ -263,7 +292,7 @@ func (s *Service) RouteMany(ctx context.Context, d, g int, pis [][]int, strategy
 		admitted := 0
 		retired := false
 		for i, pi := range pending {
-			ch, err := sh.admit(pi, strategy)
+			ch, err := sh.admit(ctx, pi, strategy)
 			if err == errShardRetired {
 				retired = true
 				break
@@ -322,8 +351,9 @@ func (s *Service) Stats() wire.StatsResponse {
 		CacheMisses:     s.retiredMisses.Load(),
 		FaultPlans:      s.faultPlans.Load(),
 		Unroutable:      s.unroutable.Load(),
-		Latency:         s.latency.snapshot(),
-		TimeToFirstSlot: s.ttfs.snapshot(),
+		Latency:         s.latency.Snapshot(),
+		TimeToFirstSlot: s.ttfs.Snapshot(),
+		PlanTimes:       s.tracer.Plan.Snapshot(),
 	}
 	for _, sh := range shards {
 		st := sh.stats()

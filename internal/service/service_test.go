@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"pops"
+	"pops/internal/obs"
 	"pops/internal/perms"
 	"pops/internal/popsnet"
 )
@@ -357,13 +358,13 @@ func TestRequestValidation(t *testing.T) {
 // microseconds, with exact powers of two in their own bucket and a final
 // unbounded overflow bucket.
 func TestLatencyHistogramBucketBoundaries(t *testing.T) {
-	var h histogram
-	h.observe(0)
-	h.observe(time.Microsecond)     // exactly 1µs → bucket 0 (≤1µs)
-	h.observe(2 * time.Microsecond) // exactly 2µs → bucket 1 (≤2µs)
-	h.observe(3 * time.Microsecond) // 3µs → bucket 2 (≤4µs)
-	h.observe(time.Hour)            // beyond the last bound → overflow
-	snap := h.snapshot()
+	var h obs.Histogram
+	h.Observe(0)
+	h.Observe(time.Microsecond)     // exactly 1µs → bucket 0 (≤1µs)
+	h.Observe(2 * time.Microsecond) // exactly 2µs → bucket 1 (≤2µs)
+	h.Observe(3 * time.Microsecond) // 3µs → bucket 2 (≤4µs)
+	h.Observe(time.Hour)            // beyond the last bound → overflow
+	snap := h.Snapshot()
 	if snap[0].Count != 2 || snap[1].Count != 1 || snap[2].Count != 1 {
 		t.Fatalf("low buckets = %+v, want counts 2,1,1", snap[:3])
 	}
@@ -405,7 +406,7 @@ func TestCloseDrainsInFlightAndRejectsNew(t *testing.T) {
 		}
 		waiters := make([]chan Result, n)
 		for i, pi := range pis {
-			ch, err := sh.admit(pi, "")
+			ch, err := sh.admit(context.Background(), pi, "")
 			if err != nil {
 				done <- outcome{err: err}
 				return

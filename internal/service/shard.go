@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"pops"
+	"pops/internal/obs"
 	"pops/internal/perms"
 	"pops/internal/wire"
 )
@@ -24,10 +25,25 @@ type Result struct {
 	Err    error
 }
 
-// request is one queued routing demand awaiting a micro-batch flush.
+// request is one queued routing demand awaiting a micro-batch flush. sp is
+// the admitting request's trace span (nil when untraced) and at its admission
+// time, so the flush can attribute the queue wait to the span's queue phase.
 type request struct {
 	pi   []int
 	done chan Result // buffered (cap 1) so flush never blocks on a reader
+	sp   *obs.Span
+	at   time.Time
+}
+
+// planTimeAdapter feeds the planner's PlanObserver callbacks into the
+// service-wide per-(d, g, strategy) plan-time table.
+type planTimeAdapter struct {
+	pt   *obs.PlanTimes
+	d, g int
+}
+
+func (a planTimeAdapter) ObservePlan(strategy string, cached bool, d time.Duration) {
+	a.pt.Observe(a.d, a.g, strategy, cached, d)
 }
 
 // shard serves one POPS(d, g) shape: a pops.Planner with a fingerprint plan
@@ -65,6 +81,7 @@ func newShard(s *Service, d, g int) (*shard, error) {
 	if s.cfg.CacheSize > 0 {
 		opts = append(opts, pops.WithPlanCache(s.cfg.CacheSize))
 	}
+	opts = append(opts, pops.WithPlanObserver(planTimeAdapter{pt: s.tracer.Plan, d: d, g: g}))
 	planner, err := pops.NewPlanner(d, g, opts...)
 	if err != nil {
 		return nil, err
@@ -82,7 +99,7 @@ func newShard(s *Service, d, g int) (*shard, error) {
 // route admits pi and waits for its result, abandoning the wait when ctx is
 // cancelled (the admitted entry still completes within its micro-batch).
 func (sh *shard) route(ctx context.Context, pi []int, strategy string) (Result, error) {
-	ch, err := sh.admit(pi, strategy)
+	ch, err := sh.admit(ctx, pi, strategy)
 	if err != nil {
 		return Result{}, err
 	}
@@ -121,9 +138,14 @@ func (sh *shard) execute(ctx context.Context, w pops.Workload) (Result, error) {
 // admit enqueues pi on the micro-batching queue (default strategy) or
 // dispatches it to the named strategy router, returning the channel its
 // Result will arrive on. The returned error is request-level: a retired
-// shard or an unknown strategy, never a planning failure.
-func (sh *shard) admit(pi []int, strategy string) (chan Result, error) {
+// shard or an unknown strategy, never a planning failure. ctx's trace span
+// (if any) rides along: queued requests charge the wait to the queue phase,
+// and strategy routers — which have no internal phase hooks — charge their
+// whole routing time to the factorize phase. The channel hand-off orders the
+// goroutines' span writes before the admitting request reads them.
+func (sh *shard) admit(ctx context.Context, pi []int, strategy string) (chan Result, error) {
 	ch := make(chan Result, 1)
+	sp := obs.SpanFromContext(ctx)
 	if strategy != "" && strategy != pops.StrategyTheoremTwo {
 		r, err := sh.routerFor(strategy)
 		if err != nil {
@@ -131,7 +153,13 @@ func (sh *shard) admit(pi []int, strategy string) (chan Result, error) {
 		}
 		sh.requests.Add(1)
 		go func() {
+			start := time.Now()
 			plan, rerr := r.Route(pi)
+			dur := time.Since(start)
+			sp.Add(obs.PhaseFactorize, dur)
+			if plan != nil {
+				sh.svc.tracer.Plan.Observe(sh.key.d, sh.key.g, plan.Strategy, false, dur)
+			}
 			ch <- Result{Plan: plan, Err: rerr}
 		}()
 		return ch, nil
@@ -142,7 +170,7 @@ func (sh *shard) admit(pi []int, strategy string) (chan Result, error) {
 		return nil, errShardRetired
 	}
 	sh.requests.Add(1)
-	sh.reqs <- request{pi: pi, done: ch}
+	sh.reqs <- request{pi: pi, done: ch, sp: sp, at: time.Now()}
 	sh.mu.RUnlock()
 	return ch, nil
 }
@@ -236,6 +264,13 @@ func (sh *shard) flush(batch []request) {
 		}
 	}
 
+	// Charge each waiter's queue delay — admission to flush start — to its
+	// span's queue phase, whether or not its permutation dedups away.
+	flushStart := time.Now()
+	for _, r := range batch {
+		r.sp.Add(obs.PhaseQueue, flushStart.Sub(r.at))
+	}
+
 	uniq := make([][]int, 0, len(batch))
 	owners := make([][]int, 0, len(batch)) // unique index -> batch indices
 	byFp := make(map[uint64][]int, len(batch))
@@ -257,7 +292,19 @@ func (sh *shard) flush(batch []request) {
 		owners[idx] = append(owners[idx], bi)
 	}
 
-	plans, cached, err := sh.planner.RouteBatchCached(uniq)
+	// Each unique entry plans under the span of its first owner, so the
+	// cache and factorize phases land on the request that triggered the
+	// planning; duplicate waiters share the result but record no plan
+	// phases of their own. The done-channel send orders those span writes
+	// before the owning request reads its span back.
+	ctxs := make([]context.Context, len(uniq))
+	for ui, bis := range owners {
+		if sp := batch[bis[0]].sp; sp != nil {
+			ctxs[ui] = obs.ContextWithSpan(context.Background(), sp)
+		}
+	}
+
+	plans, cached, err := sh.planner.RouteBatchContexts(ctxs, uniq)
 	errs := perIndexErrors(err, len(uniq))
 	for ui := range uniq {
 		res := Result{Plan: plans[ui], Cached: cached[ui], Err: errs[ui]}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"pops"
+	"pops/internal/obs"
 	"pops/internal/wire"
 )
 
@@ -147,15 +148,21 @@ func (sh *shard) admitStream(ctx context.Context, w pops.Workload, pi []int, str
 	} else {
 		// Direct strategies have no incremental planner; plan up front and
 		// stream the finished slots (their time-to-first-slot is the full
-		// planning latency, faithfully recorded in the histogram).
+		// planning latency, faithfully recorded in the histogram). The
+		// router has no internal phase hooks, so its whole routing time is
+		// the factorize phase and one plan-time observation.
 		r, err := sh.routerFor(strategy)
 		if err != nil {
 			return nil, err
 		}
+		routeStart := time.Now()
 		plan, err := r.Route(pi)
+		dur := time.Since(routeStart)
+		obs.SpanFromContext(ctx).Add(obs.PhaseFactorize, dur)
 		if err != nil {
 			return nil, err
 		}
+		svc.tracer.Plan.Observe(sh.key.d, sh.key.g, plan.Strategy, false, dur)
 		st.plan = plan
 		st.meta = wire.StreamMeta{
 			D: sh.key.d, G: sh.key.g,
@@ -213,7 +220,7 @@ func (st *Stream) Next() (wire.StreamSlot, bool) {
 	}
 	if !st.ttfs {
 		st.ttfs = true
-		st.svc.ttfs.observe(time.Since(st.start))
+		st.svc.ttfs.Observe(time.Since(st.start))
 	}
 	st.slots++
 	st.svc.streamedSlots.Add(1)
@@ -234,7 +241,7 @@ func (st *Stream) finish() {
 		return
 	}
 	st.ended = true
-	st.svc.latency.observe(time.Since(st.start))
+	st.svc.latency.Observe(time.Since(st.start))
 }
 
 // Close releases the stream's worker planner and unblocks graceful drain.

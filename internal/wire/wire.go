@@ -10,7 +10,10 @@
 // decoders.
 package wire
 
-import "pops/internal/popsnet"
+import (
+	"pops/internal/obs"
+	"pops/internal/popsnet"
+)
 
 // Workload kind tags of the tagged request schema, mirroring the
 // pops.Workload constructors. An empty workload field means "permutation".
@@ -115,9 +118,13 @@ type PlanResult struct {
 
 // RouteResponse is the body answering POST /route.
 type RouteResponse struct {
-	D     int          `json:"d"`
-	G     int          `json:"g"`
-	Plans []PlanResult `json:"plans"`
+	D int `json:"d"`
+	G int `json:"g"`
+	// RequestID echoes the request's X-Request-Id header (client-supplied or
+	// server-generated), the key correlating this response with /debug/slow
+	// phase breakdowns and proxy-side failover labels.
+	RequestID string       `json:"request_id,omitempty"`
+	Plans     []PlanResult `json:"plans"`
 }
 
 // StreamRecord is one line of the POST /route/stream NDJSON response. The
@@ -149,6 +156,9 @@ type StreamMeta struct {
 	Strategy    string `json:"strategy"`
 	Fingerprint string `json:"fingerprint"`
 	Cached      bool   `json:"cached,omitempty"`
+	// RequestID echoes the stream's X-Request-Id, mirroring
+	// RouteResponse.RequestID for the NDJSON path.
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // StreamSlot is one streamed fragment of the schedule: the sends and recvs
@@ -211,10 +221,25 @@ type ShardStats struct {
 // LatencyBucket is one bucket of the request-latency histogram: Count
 // requests completed in at most LEMicros microseconds (and more than the
 // previous bucket's bound). The final bucket has LEMicros == 0, meaning
-// "no upper bound".
-type LatencyBucket struct {
-	LEMicros uint64 `json:"le_us"`
-	Count    uint64 `json:"count"`
+// "no upper bound". It aliases obs.Bucket so service histograms snapshot
+// straight onto the wire.
+type LatencyBucket = obs.Bucket
+
+// PlanTimeStat is one per-(d, g, strategy) plan-time entry of
+// StatsResponse.PlanTimes: observation count, cache hits, EWMA, and a
+// latency histogram of measured planning time.
+type PlanTimeStat = obs.PlanTimeStat
+
+// SlowRequest is one retained slow request with its full phase breakdown,
+// served by GET /debug/slow.
+type SlowRequest = obs.SpanSnapshot
+
+// SlowResponse answers GET /debug/slow: the slowest retained requests,
+// slowest first.
+type SlowResponse struct {
+	// Server identifies the answering node, mirroring StatsResponse.Server.
+	Server   string        `json:"server,omitempty"`
+	Requests []SlowRequest `json:"requests"`
 }
 
 // StatsResponse answers GET /stats: service-wide counters plus one entry per
@@ -246,7 +271,13 @@ type StatsResponse struct {
 	// stream admission until the first slot fragment was ready to flush.
 	// It is the measured signal for the per-shape cost model (see ROADMAP).
 	TimeToFirstSlot []LatencyBucket `json:"time_to_first_slot"`
-	Shards          []ShardStats    `json:"shards"`
+	// PlanTimes is the per-(d, g, strategy) measured plan-time table: EWMAs
+	// and histograms of actual planning work (cache hits counted separately).
+	// This is the data source for the learned Auto cost model. A proxy
+	// answers with the fleet merge: counts summed, EWMAs count-weighted,
+	// buckets merged bucket-wise.
+	PlanTimes []PlanTimeStat `json:"plan_times,omitempty"`
+	Shards    []ShardStats   `json:"shards"`
 	// Backends is the per-node breakdown of a fleet aggregate: one entry
 	// per configured backend, present only when a proxy answered.
 	Backends []BackendStats `json:"backends,omitempty"`
@@ -269,6 +300,10 @@ type BackendStats struct {
 	// after a connection error; Errors counts connection errors observed.
 	Failovers uint64 `json:"failovers"`
 	Errors    uint64 `json:"errors"`
+	// Ejections counts healthy→unhealthy transitions: how often the proxy
+	// ejected this node from the ring (health-probe failures or consecutive
+	// request errors crossing the threshold).
+	Ejections uint64 `json:"ejections,omitempty"`
 	// CacheHits/CacheMisses echo the node's own totals, so per-node cache
 	// affinity is visible without fetching every node's /stats.
 	CacheHits   uint64 `json:"cache_hits"`

@@ -57,6 +57,16 @@ func WithPlanCache(n int) Option {
 	return func(o *Options) { o.PlanCache = n }
 }
 
+// WithPlanObserver installs o as the planner's plan observer: every
+// completed Route/Execute/stream invokes o.ObservePlan with the resolved
+// strategy, whether the plan came from the fingerprint cache, and how long
+// the call took (for cache hits, the lookup time). The observer must be safe
+// for concurrent use and should not block — it runs inline on the planning
+// path. nil (the default) observes nothing.
+func WithPlanObserver(o PlanObserver) Option {
+	return func(opts *Options) { opts.Observer = o }
+}
+
 // NewOptions resolves functional options into the Options struct accepted by
 // the lower-level constructors (mesh.New, hypercube.New, matmul.Multiply and
 // the internal planners).

@@ -4,8 +4,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"pops/internal/core"
+	"pops/internal/obs"
 	"pops/internal/perms"
 )
 
@@ -72,23 +74,47 @@ func (p *Planner) release(pl *core.Planner) {
 	}
 }
 
+// observePlan notifies the installed PlanObserver, if any, of one completed
+// plan. start is when the caller began the route (before the cache lookup),
+// so cached observations measure the hit path, not planning.
+func (p *Planner) observePlan(strategy string, cached bool, start time.Time) {
+	if o := p.opts.Observer; o != nil {
+		o.ObservePlan(strategy, cached, time.Since(start))
+	}
+}
+
 // routeOne plans pi through the fingerprint cache when one is configured:
 // a verified hit skips planning entirely, a miss plans and memoizes. The
-// returned bool reports whether the plan came from the cache.
-func (p *Planner) routeOne(pl *core.Planner, pi []int) (*Plan, bool, error) {
+// returned bool reports whether the plan came from the cache. Cache lookup
+// and memoization are attributed to the cache phase of ctx's trace span;
+// the planning itself records its own phases inside PlanCtx.
+func (p *Planner) routeOne(ctx context.Context, pl *core.Planner, pi []int) (*Plan, bool, error) {
+	start := time.Now()
 	if p.cache == nil {
-		plan, err := pl.Plan(pi)
-		return plan, false, err
+		plan, err := pl.PlanCtx(ctx, pi)
+		if err != nil {
+			return nil, false, err
+		}
+		p.observePlan(plan.Strategy, false, start)
+		return plan, false, nil
 	}
+	sp := obs.SpanFromContext(ctx)
+	sp.Begin(obs.PhaseCache)
 	fp := perms.Fingerprint(pi)
-	if plan, ok := p.cache.get(fp, cacheKindPermutation, pi); ok {
+	plan, ok := p.cache.get(fp, cacheKindPermutation, pi)
+	sp.End()
+	if ok {
+		p.observePlan(plan.Strategy, true, start)
 		return plan, true, nil
 	}
-	plan, err := pl.Plan(pi)
+	plan, err := pl.PlanCtx(ctx, pi)
 	if err != nil {
 		return nil, false, err
 	}
+	sp.Begin(obs.PhaseCache)
 	p.cache.put(fp, cacheKindPermutation, pi, plan)
+	sp.End()
+	p.observePlan(plan.Strategy, false, start)
 	return plan, false, nil
 }
 
@@ -172,12 +198,29 @@ func (p *Planner) RouteBatch(pis [][]int) ([]*Plan, error) {
 // (always false without WithPlanCache). It is the primitive the serving
 // layer batches onto, where hit/miss visibility is part of the response.
 func (p *Planner) RouteBatchCached(pis [][]int) (plans []*Plan, cached []bool, err error) {
+	return p.RouteBatchContexts(nil, pis)
+}
+
+// RouteBatchContexts is RouteBatchCached with one context per entry, so a
+// batch assembled from independent requests (the serving layer's micro-batch
+// queue) keeps per-request cancellation and trace-span attribution: entry
+// i's cache lookup and planning phases are recorded on ctxs[i]'s span.
+// ctxs may be nil (every entry runs under context.Background()) or must
+// match pis in length; individual nil entries also fall back to Background.
+func (p *Planner) RouteBatchContexts(ctxs []context.Context, pis [][]int) (plans []*Plan, cached []bool, err error) {
+	if ctxs != nil && len(ctxs) != len(pis) {
+		return nil, nil, fmt.Errorf("pops: %d contexts for %d permutations", len(ctxs), len(pis))
+	}
 	plans = make([]*Plan, len(pis))
 	cached = make([]bool, len(pis))
 	errs := make([]error, len(pis))
 	core.ForEach(p.par, len(pis), p.acquire, p.release, func(pl *core.Planner, i int) {
+		ctx := context.Background()
+		if ctxs != nil && ctxs[i] != nil {
+			ctx = ctxs[i]
+		}
 		var planErr error
-		plans[i], cached[i], planErr = p.routeOne(pl, pis[i])
+		plans[i], cached[i], planErr = p.routeOne(ctx, pl, pis[i])
 		if planErr != nil {
 			errs[i] = &BatchError{Index: i, Err: planErr}
 		}

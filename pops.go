@@ -90,6 +90,12 @@ const (
 // Options configures the planner.
 type Options = core.Options
 
+// PlanObserver receives one observation per planned workload: resolved
+// strategy, cache verdict, and measured planning time. Install one with
+// WithPlanObserver; the routing service uses it to feed the per-(d, g,
+// strategy) plan-time telemetry behind /stats and /metrics.
+type PlanObserver = core.PlanObserver
+
 // Plan is a verified-constructible routing plan; see Route.
 type Plan = core.Plan
 

@@ -4,8 +4,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"pops/internal/core"
+	"pops/internal/obs"
 )
 
 // StreamedSlot is one increment of a streaming plan: the fragment of one
@@ -73,6 +75,14 @@ type PlanStream struct {
 	err       error
 	done      bool
 	total     int
+
+	// Plan-time observation state of incremental streams: the span carried
+	// by the ExecuteStream ctx and the stream's start time. obsStart is
+	// non-zero only for streams that still owe a PlanObserver notification
+	// (materialized streams — cache hits, broadcasts, fault plans — were
+	// observed at ExecuteStream time).
+	span     *obs.Span
+	obsStart time.Time
 }
 
 // RouteStream begins streaming the Theorem 2 routing of pi.
@@ -135,10 +145,12 @@ func (ps *PlanStream) Collect() (*Plan, error) {
 			return nil, errors.New("pops: plan stream closed before completion")
 		}
 		if ps.p.opts.Verify && !ps.collected && !ps.cached {
+			ps.span.Begin(obs.PhaseVerify)
 			if _, err := ps.plan.Verify(); err != nil {
 				ps.err = fmt.Errorf("pops: schedule failed verification: %w", err)
 				return nil, ps.err
 			}
+			ps.span.End()
 			ps.collected = true
 			ps.memoize()
 		}
@@ -179,6 +191,10 @@ func (ps *PlanStream) finish() {
 		ps.worker = nil
 	}
 	ps.memoize()
+	if !ps.obsStart.IsZero() && ps.err == nil && ps.plan != nil {
+		ps.p.observePlan(ps.plan.Strategy, false, ps.obsStart)
+		ps.obsStart = time.Time{}
+	}
 }
 
 // memoize caches a successfully completed plan like Execute would — except

@@ -4,8 +4,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"pops/internal/core"
+	"pops/internal/obs"
 	"pops/internal/perms"
 )
 
@@ -215,8 +217,13 @@ func (p *Planner) ExecuteCached(ctx context.Context, w Workload) (plan *Plan, ca
 	case oneToAllWorkload:
 		// Broadcast planning is a single O(n) fan-out slot: cheaper than a
 		// cache round-trip, so it is always planned fresh, with no worker.
+		start := time.Now()
 		plan, err := p.broadcastPlan(w.speaker)
-		return plan, false, err
+		if err != nil {
+			return nil, false, err
+		}
+		p.observePlan(plan.Strategy, false, start)
+		return plan, false, nil
 	default:
 		return nil, false, fmt.Errorf("pops: unknown workload type %T", w)
 	}
@@ -244,8 +251,14 @@ func (p *Planner) routePermutation(ctx context.Context, pi []int) (*Plan, bool, 
 	if err := ctx.Err(); err != nil {
 		return nil, false, err
 	}
+	start := time.Now()
+	sp := obs.SpanFromContext(ctx)
 	if p.cache != nil {
-		if plan, ok := p.cache.get(perms.Fingerprint(pi), cacheKindPermutation, pi); ok {
+		sp.Begin(obs.PhaseCache)
+		plan, ok := p.cache.get(perms.Fingerprint(pi), cacheKindPermutation, pi)
+		sp.End()
+		if ok {
+			p.observePlan(plan.Strategy, true, start)
 			return plan, true, nil
 		}
 	}
@@ -256,8 +269,11 @@ func (p *Planner) routePermutation(ctx context.Context, pi []int) (*Plan, bool, 
 		return nil, false, err
 	}
 	if p.cache != nil {
+		sp.Begin(obs.PhaseCache)
 		p.cache.put(perms.Fingerprint(pi), cacheKindPermutation, pi, plan)
+		sp.End()
 	}
+	p.observePlan(plan.Strategy, false, start)
 	return plan, false, nil
 }
 
@@ -265,13 +281,19 @@ func (p *Planner) routePermutation(ctx context.Context, pi []int) (*Plan, bool, 
 // skips planning entirely; a miss checks a worker planner out of the pool,
 // plans, memoizes, and returns the worker.
 func (p *Planner) executeWorkload(ctx context.Context, w Workload, plan func(*core.Planner) (*Plan, error)) (*Plan, bool, error) {
+	start := time.Now()
+	sp := obs.SpanFromContext(ctx)
 	var key uint64
 	var kind uint8
 	if p.cache != nil {
 		var ident []int
 		key, kind, ident = workloadKey(w)
-		if plan, ok := p.cache.get(key, kind, ident); ok {
-			return plan, true, nil
+		sp.Begin(obs.PhaseCache)
+		hit, ok := p.cache.get(key, kind, ident)
+		sp.End()
+		if ok {
+			p.observePlan(hit.Strategy, true, start)
+			return hit, true, nil
 		}
 	}
 	pl := p.acquire()
@@ -281,8 +303,11 @@ func (p *Planner) executeWorkload(ctx context.Context, w Workload, plan func(*co
 		return nil, false, err
 	}
 	if p.cache != nil {
+		sp.Begin(obs.PhaseCache)
 		p.cache.put(key, kind, cacheIdentFor(kind, built), built)
+		sp.End()
 	}
+	p.observePlan(built.Strategy, false, start)
 	return built, false, nil
 }
 
@@ -309,11 +334,13 @@ func (p *Planner) ExecuteStream(ctx context.Context, w Workload) (*PlanStream, e
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	start := time.Now()
 	if ow, ok := w.(oneToAllWorkload); ok {
 		plan, err := p.broadcastPlan(ow.speaker)
 		if err != nil {
 			return nil, err
 		}
+		p.observePlan(plan.Strategy, false, start)
 		return &PlanStream{p: p, plan: plan, nocache: true, total: plan.SlotCount()}, nil
 	}
 	if fw, ok := w.(faultyWorkload); ok {
@@ -328,13 +355,18 @@ func (p *Planner) ExecuteStream(ctx context.Context, w Workload) (*PlanStream, e
 		return &PlanStream{p: p, plan: plan, cached: cached, nocache: true, total: plan.SlotCount()}, nil
 	}
 
+	sp := obs.SpanFromContext(ctx)
 	var key uint64
 	var kind uint8
 	hasKey := p.cache != nil
 	if hasKey {
 		var ident []int
 		key, kind, ident = workloadKey(w)
-		if plan, ok := p.cache.get(key, kind, ident); ok {
+		sp.Begin(obs.PhaseCache)
+		plan, ok := p.cache.get(key, kind, ident)
+		sp.End()
+		if ok {
+			p.observePlan(plan.Strategy, true, start)
 			return &PlanStream{p: p, plan: plan, cached: true, ckey: key, ckind: kind, hasKey: true, total: plan.SlotCount()}, nil
 		}
 	}
@@ -355,5 +387,5 @@ func (p *Planner) ExecuteStream(ctx context.Context, w Workload) (*PlanStream, e
 		p.release(worker)
 		return nil, err
 	}
-	return &PlanStream{p: p, worker: worker, cs: cs, ckey: key, ckind: kind, hasKey: hasKey, total: cs.FragmentCount()}, nil
+	return &PlanStream{p: p, worker: worker, cs: cs, ckey: key, ckind: kind, hasKey: hasKey, total: cs.FragmentCount(), span: sp, obsStart: start}, nil
 }
