@@ -3,7 +3,7 @@
 
 DATE := $(shell date +%F)
 
-.PHONY: build test vet race tier1 bench bench-smoke alloc-guard serve-smoke cluster-smoke fault-smoke obs-smoke
+.PHONY: build test vet race tier1 bench bench-smoke alloc-guard serve-smoke cluster-smoke fault-smoke obs-smoke overload-smoke
 
 build:
 	go build ./...
@@ -18,7 +18,7 @@ vet:
 tier1: build vet test
 
 race:
-	go test -race . ./internal/popsnet ./internal/service/... ./internal/cluster/... ./cmd/popsserved ./cmd/popsproxy
+	go test -race . ./internal/popsnet ./internal/service/... ./internal/cluster/... ./internal/chaos ./cmd/popsserved ./cmd/popsproxy
 
 # End-to-end serving smoke: start popsserved on an ephemeral port, route a
 # permutation through pops.ServiceClient, and assert the second call is
@@ -47,6 +47,17 @@ cluster-smoke:
 # request comes back as a typed *pops.UnroutableError across the wire.
 fault-smoke:
 	go test -run 'TestFaultSmoke' -count=1 -v ./cmd/popsserved
+
+# End-to-end overload smoke: two throttled popsserved backends behind a
+# popsproxy, a 4x load ramp with one backend degraded to 200ms per request.
+# Asserts the robustness contract: nonzero typed sheds (429 + Retry-After),
+# admitted p99 within 5x of the uncontended baseline, the slow node's
+# circuit breaker opens (health checks alone cannot catch it) and re-closes
+# once the slowness lifts. The shed-don't-collapse and tenant-fairness
+# properties are covered in-process by ./internal/chaos.
+overload-smoke:
+	go test -run 'TestOverloadSmoke' -count=1 -v ./cmd/popsproxy
+	go test -run 'TestOverloadShedsDontCollapse|TestTenantWeightedFairness' -count=1 -v ./internal/chaos
 
 # End-to-end observability smoke: boot popsserved with a -debug-addr
 # listener, route a permutation under a caller-chosen X-Request-Id, and

@@ -4,11 +4,15 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
+	"time"
 
+	"pops/internal/backoff"
 	"pops/internal/wire"
 )
 
@@ -40,17 +44,134 @@ type (
 // The zero cost of coalescing happens server-side; the client is a thin,
 // concurrency-safe HTTP wrapper.
 type ServiceClient struct {
-	base string
-	hc   *http.Client
+	base  string
+	hc    *http.Client
+	retry RetryPolicy
+
+	// sleep and jitter are the retry pacing hooks, injectable so tests can
+	// pin the backoff schedule; nil selects the real clock and the shared
+	// half-to-full jitter.
+	sleep  func(context.Context, time.Duration) error
+	jitter func(time.Duration) time.Duration
 }
 
 // NewServiceClient returns a client for the service at baseURL (e.g.
-// "http://127.0.0.1:8714"). A nil hc selects http.DefaultClient.
+// "http://127.0.0.1:8714"). A nil hc selects http.DefaultClient. The client
+// does not retry by default; see WithRetry.
 func NewServiceClient(baseURL string, hc *http.Client) *ServiceClient {
 	if hc == nil {
 		hc = http.DefaultClient
 	}
 	return &ServiceClient{base: strings.TrimRight(baseURL, "/"), hc: hc}
+}
+
+// RetryPolicy tunes the client's reaction to overload verdicts (HTTP 429,
+// or 503 carrying Retry-After): how many times to retry and how to pace.
+// Planning is pure — replaying a route request is idempotent — so retrying
+// a shed request is always safe; the policy never retries deterministic
+// errors, and never retries past the request context's deadline.
+type RetryPolicy struct {
+	// MaxRetries is how many extra attempts follow a shed first attempt.
+	// 0 disables retrying.
+	MaxRetries int
+	// BaseBackoff is the pause before the first retry, doubled per further
+	// attempt and raised to the server's Retry-After hint when that asks
+	// for longer. Default 10ms.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the pause. Default 1s.
+	MaxBackoff time.Duration
+}
+
+// WithRetry returns a copy of the client that retries overload-shed
+// requests under p. The zero policy disables retrying again.
+func (c *ServiceClient) WithRetry(p RetryPolicy) *ServiceClient {
+	cp := *c
+	cp.retry = p
+	return &cp
+}
+
+// withRetry runs attempt, retrying when it fails with a typed
+// *OverloadError: the pause is BaseBackoff doubled per attempt, raised to
+// the server's Retry-After hint, capped at MaxBackoff, and jittered into
+// [d/2, d] so a shedding server is not hit by synchronized retry waves. A
+// request whose context deadline cannot survive the pause is not retried —
+// the overload verdict is returned as-is. Deterministic errors never retry.
+func (c *ServiceClient) withRetry(ctx context.Context, attempt func() error) error {
+	for try := 0; ; try++ {
+		err := attempt()
+		var oe *OverloadError
+		if err == nil || !errors.As(err, &oe) || try >= c.retry.MaxRetries {
+			return err
+		}
+		if ctx.Err() != nil {
+			return err
+		}
+		base := c.retry.BaseBackoff
+		if base <= 0 {
+			base = 10 * time.Millisecond
+		}
+		max := c.retry.MaxBackoff
+		if max <= 0 {
+			max = time.Second
+		}
+		delay := backoff.Delay(base, max, try, oe.RetryAfter)
+		if c.jitter != nil {
+			delay = c.jitter(delay)
+		} else {
+			delay = backoff.Jitter(delay)
+		}
+		if dl, ok := ctx.Deadline(); ok && time.Until(dl) <= delay {
+			return err // the deadline would expire mid-pause
+		}
+		if err := c.pause(ctx, delay); err != nil {
+			return err
+		}
+	}
+}
+
+func (c *ServiceClient) pause(ctx context.Context, d time.Duration) error {
+	if c.sleep != nil {
+		return c.sleep(ctx, d)
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// OverloadFromResponse reconstructs the typed overload verdict of a shed
+// HTTP response: every 429, plus 503s that carry a Retry-After hint (a
+// proxy-side limit). A plain 503 — graceful shutdown — is not an overload
+// and returns nil. The response body is not touched. ServiceClient applies
+// it internally; the cluster proxy uses it to tell a shedding backend from
+// a dead one.
+func OverloadFromResponse(resp *http.Response) *OverloadError {
+	throttled := resp.StatusCode == http.StatusTooManyRequests ||
+		(resp.StatusCode == http.StatusServiceUnavailable && resp.Header.Get("Retry-After") != "")
+	if !throttled {
+		return nil
+	}
+	oe := &OverloadError{
+		Tenant: resp.Header.Get(wire.HeaderTenant),
+		Queue:  resp.Header.Get(wire.HeaderOverloadQueue),
+	}
+	if ms := resp.Header.Get(wire.HeaderRetryAfterMs); ms != "" {
+		if v, err := strconv.ParseInt(ms, 10, 64); err == nil && v > 0 {
+			oe.RetryAfter = time.Duration(v) * time.Millisecond
+		}
+	}
+	if oe.RetryAfter == 0 {
+		if s := resp.Header.Get("Retry-After"); s != "" {
+			if v, err := strconv.Atoi(s); err == nil && v > 0 {
+				oe.RetryAfter = time.Duration(v) * time.Second
+			}
+		}
+	}
+	return oe
 }
 
 // reqIDCtxKey carries a caller-chosen request ID through a context.
@@ -233,20 +354,34 @@ func (c *ServiceClient) DoStream(ctx context.Context, req *ServiceRouteRequest) 
 	if err != nil {
 		return nil, fmt.Errorf("pops: encoding route request: %w", err)
 	}
+	// A stream shed at admission (429 before the meta record) has delivered
+	// nothing, so retrying it is as safe as retrying /route. Once the stream
+	// is open it is never retried — the caller may have consumed slots.
+	var st *ServiceStream
+	err = c.withRetry(ctx, func() error {
+		var openErr error
+		st, openErr = c.openStream(ctx, body)
+		return openErr
+	})
+	return st, err
+}
+
+func (c *ServiceClient) openStream(ctx context.Context, body []byte) (*ServiceStream, error) {
 	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/route/stream", bytes.NewReader(body))
 	if err != nil {
 		return nil, err
 	}
 	httpReq.Header.Set("Content-Type", "application/json")
-	if id := RequestIDFromContext(ctx); id != "" {
-		httpReq.Header.Set("X-Request-Id", id)
-	}
+	c.setCallHeaders(ctx, httpReq)
 	resp, err := c.hc.Do(httpReq)
 	if err != nil {
 		return nil, fmt.Errorf("pops: service request /route/stream: %w", err)
 	}
 	if resp.StatusCode != http.StatusOK {
 		defer drainClose(resp.Body)
+		if oe := OverloadFromResponse(resp); oe != nil {
+			return nil, fmt.Errorf("pops: service /route/stream: %w", oe)
+		}
 		return nil, fmt.Errorf("pops: service /route/stream: %s", readError(resp))
 	}
 	st := &ServiceStream{body: resp.Body, dec: json.NewDecoder(resp.Body)}
@@ -354,15 +489,33 @@ func (c *ServiceClient) Healthz(ctx context.Context) error {
 }
 
 func (c *ServiceClient) post(ctx context.Context, path string, body []byte, out any) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
-	if err != nil {
-		return err
-	}
-	req.Header.Set("Content-Type", "application/json")
+	// The request is rebuilt per attempt — bytes.Reader cannot be rewound
+	// once the transport has consumed it.
+	return c.withRetry(ctx, func() error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		c.setCallHeaders(ctx, req)
+		return c.roundTrip(req, out)
+	})
+}
+
+// setCallHeaders attaches the per-call context headers: the caller's
+// correlation ID, the tenant tag for weighted-fair admission, and the
+// absolute deadline, so a server can shed a queued request the moment it
+// becomes unservable instead of planning for a caller that already hung up.
+func (c *ServiceClient) setCallHeaders(ctx context.Context, req *http.Request) {
 	if id := RequestIDFromContext(ctx); id != "" {
 		req.Header.Set("X-Request-Id", id)
 	}
-	return c.roundTrip(req, out)
+	if t := TenantFromContext(ctx); t != "" {
+		req.Header.Set(wire.HeaderTenant, t)
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		req.Header.Set(wire.HeaderDeadline, wire.EncodeDeadline(dl))
+	}
 }
 
 func (c *ServiceClient) get(ctx context.Context, path string, out any) error {
@@ -384,6 +537,9 @@ func (c *ServiceClient) roundTrip(req *http.Request, out any) error {
 	// connections exactly when a failover layer is retrying hardest.
 	defer drainClose(resp.Body)
 	if resp.StatusCode != http.StatusOK {
+		if oe := OverloadFromResponse(resp); oe != nil {
+			return fmt.Errorf("pops: service %s: %w", req.URL.Path, oe)
+		}
 		return fmt.Errorf("pops: service %s: %s", req.URL.Path, readError(resp))
 	}
 	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {

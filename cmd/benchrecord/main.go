@@ -24,12 +24,15 @@ import (
 	"time"
 )
 
-// benchResult is one benchmark line of the schema.
+// benchResult is one benchmark line of the schema. Metrics holds custom
+// b.ReportMetric units (e.g. goodput_rps, admitted_p99_ms) beyond the
+// standard triple.
 type benchResult struct {
-	Name        string  `json:"name"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
+	Name        string             `json:"name"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
 // benchFile is the BENCH_<date>.json schema used by the baselines.
@@ -171,28 +174,43 @@ func parseBenchOutput(out string, procs int) (cpu string, results []benchResult,
 			continue
 		}
 		fields := strings.Fields(line)
-		// name, iters, ns, "ns/op", bytes, "B/op", allocs, "allocs/op"
-		if len(fields) < 8 || fields[3] != "ns/op" || fields[5] != "B/op" || fields[7] != "allocs/op" {
+		// name, iters, then (value, unit) pairs: "ns/op", "B/op", and
+		// "allocs/op" are all required (benchrecord always runs -benchmem;
+		// lines without the full triple are skipped, as before), with any
+		// custom b.ReportMetric units (e.g. "goodput_rps") collected too.
+		if len(fields) < 8 || len(fields)%2 != 0 || fields[3] != "ns/op" {
 			continue
 		}
-		ns, err := strconv.ParseFloat(fields[2], 64)
-		if err != nil {
-			return cpu, nil, fmt.Errorf("parsing ns/op in %q: %w", line, err)
+		res := benchResult{Name: trimProcSuffix(fields[0], procs)}
+		sawBytes, sawAllocs := false, false
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, unit := fields[i], fields[i+1]
+			switch unit {
+			case "ns/op":
+				res.NsPerOp, err = strconv.ParseFloat(val, 64)
+			case "B/op":
+				sawBytes = true
+				res.BytesPerOp, err = strconv.ParseInt(val, 10, 64)
+			case "allocs/op":
+				sawAllocs = true
+				res.AllocsPerOp, err = strconv.ParseInt(val, 10, 64)
+			default:
+				var f float64
+				if f, err = strconv.ParseFloat(val, 64); err == nil {
+					if res.Metrics == nil {
+						res.Metrics = make(map[string]float64)
+					}
+					res.Metrics[unit] = f
+				}
+			}
+			if err != nil {
+				return cpu, nil, fmt.Errorf("parsing %s in %q: %w", unit, line, err)
+			}
 		}
-		bytes, err := strconv.ParseInt(fields[4], 10, 64)
-		if err != nil {
-			return cpu, nil, fmt.Errorf("parsing B/op in %q: %w", line, err)
+		if !sawBytes || !sawAllocs {
+			continue
 		}
-		allocs, err := strconv.ParseInt(fields[6], 10, 64)
-		if err != nil {
-			return cpu, nil, fmt.Errorf("parsing allocs/op in %q: %w", line, err)
-		}
-		results = append(results, benchResult{
-			Name:        trimProcSuffix(fields[0], procs),
-			NsPerOp:     ns,
-			BytesPerOp:  bytes,
-			AllocsPerOp: allocs,
-		})
+		results = append(results, res)
 	}
 	return cpu, results, sc.Err()
 }

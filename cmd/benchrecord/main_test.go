@@ -10,6 +10,7 @@ cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
 BenchmarkPlannerReuse/route-percall/d=8/g=8         	      20	     69095 ns/op	   43280 B/op	     626 allocs/op
 BenchmarkPlannerReuse/planner-reuse/d=8/g=8-8       	      20	     30373 ns/op	   36288 B/op	     482 allocs/op
 BenchmarkWithoutMem                                 	      20	     12345 ns/op
+BenchmarkOverloadShedding/load-4x                   	       3	  18858651 ns/op	         4.834 admitted_p99_ms	      3471 goodput_rps	       236.0 sheds	 3776090 B/op	   49228 allocs/op
 PASS
 ok  	pops	2.098s
 `
@@ -20,16 +21,29 @@ ok  	pops	2.098s
 	if cpu != "Intel(R) Xeon(R) Processor @ 2.10GHz" {
 		t.Fatalf("cpu = %q", cpu)
 	}
-	if len(results) != 2 {
-		t.Fatalf("parsed %d results, want 2", len(results))
+	if len(results) != 3 {
+		t.Fatalf("parsed %d results, want 3", len(results))
 	}
 	r := results[0]
 	if r.Name != "BenchmarkPlannerReuse/route-percall/d=8/g=8" ||
 		r.NsPerOp != 69095 || r.BytesPerOp != 43280 || r.AllocsPerOp != 626 {
 		t.Fatalf("first result = %+v", r)
 	}
+	if len(r.Metrics) != 0 {
+		t.Fatalf("standard triple should carry no custom metrics: %+v", r.Metrics)
+	}
 	if results[1].Name != "BenchmarkPlannerReuse/planner-reuse/d=8/g=8" {
 		t.Fatalf("GOMAXPROCS suffix not trimmed: %q", results[1].Name)
+	}
+	// Custom b.ReportMetric units land between ns/op and the -benchmem pair;
+	// they must be collected into Metrics without disturbing the triple.
+	m := results[2]
+	if m.Name != "BenchmarkOverloadShedding/load-4x" ||
+		m.NsPerOp != 18858651 || m.BytesPerOp != 3776090 || m.AllocsPerOp != 49228 {
+		t.Fatalf("metrics result = %+v", m)
+	}
+	if m.Metrics["admitted_p99_ms"] != 4.834 || m.Metrics["goodput_rps"] != 3471 || m.Metrics["sheds"] != 236 {
+		t.Fatalf("custom metrics = %+v", m.Metrics)
 	}
 }
 

@@ -80,6 +80,10 @@ func run(ctx context.Context, args []string, stdout io.Writer, ready chan<- net.
 		retryBackoff   = fs.Duration("retry-backoff", 10*time.Millisecond, "backoff before the first failover attempt (doubles per attempt)")
 		slow           = fs.Int("slow", 64, "slowest traced requests retained for GET /debug/slow")
 		debugAddr      = fs.String("debug-addr", "", "optional second listener serving net/http/pprof and /metrics")
+		maxPerBackend  = fs.Int("max-per-backend", 128, "concurrent forwards per backend; excess sheds with 429 (negative = uncapped)")
+		brFailures     = fs.Int("breaker-failures", 5, "consecutive request failures that open a backend's circuit breaker (negative disables)")
+		brLatency      = fs.Duration("breaker-latency", 0, "forward-latency EWMA that opens the breaker (0 disables)")
+		brCooldown     = fs.Duration("breaker-cooldown", time.Second, "open-breaker dwell before a half-open probe")
 		drainWait      time.Duration
 	)
 	fs.DurationVar(&drainWait, "drain-timeout", 10*time.Second, "graceful shutdown deadline for open connections")
@@ -98,14 +102,18 @@ func run(ctx context.Context, args []string, stdout io.Writer, ready chan<- net.
 	}
 
 	proxy, err := cluster.New(cluster.Config{
-		Backends:       urls,
-		Replicas:       *replicas,
-		HealthInterval: *healthInterval,
-		HealthTimeout:  *healthTimeout,
-		FailAfter:      *failAfter,
-		Retries:        *retries,
-		RetryBackoff:   *retryBackoff,
-		SlowRequests:   *slow,
+		Backends:        urls,
+		Replicas:        *replicas,
+		HealthInterval:  *healthInterval,
+		HealthTimeout:   *healthTimeout,
+		FailAfter:       *failAfter,
+		Retries:         *retries,
+		RetryBackoff:    *retryBackoff,
+		SlowRequests:    *slow,
+		MaxPerBackend:   *maxPerBackend,
+		BreakerFailures: *brFailures,
+		BreakerLatency:  *brLatency,
+		BreakerCooldown: *brCooldown,
 	})
 	if err != nil {
 		return err

@@ -38,6 +38,8 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -58,6 +60,31 @@ func debugHandler(metrics http.Handler) http.Handler {
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.Handle("GET /metrics", metrics)
 	return mux
+}
+
+// parseTenantWeights decodes the -tenant-weights "name=weight,..." flag into
+// the service's TenantMix map. Empty input means no weighting (nil map).
+func parseTenantWeights(s string) (map[string]float64, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	weights := make(map[string]float64)
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("-tenant-weights: %q is not name=weight", part)
+		}
+		w, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+		if err != nil || w <= 0 {
+			return nil, fmt.Errorf("-tenant-weights: %q needs a positive weight", part)
+		}
+		weights[strings.TrimSpace(name)] = w
+	}
+	return weights, nil
 }
 
 func main() {
@@ -86,6 +113,10 @@ func run(ctx context.Context, args []string, stdout io.Writer, ready chan<- net.
 		verify     = fs.Bool("verify", false, "replay every schedule on the simulator before serving it")
 		slow       = fs.Int("slow", 64, "slowest traced requests retained for GET /debug/slow")
 		debugAddr  = fs.String("debug-addr", "", "optional second listener serving net/http/pprof and /metrics")
+		queueDepth = fs.Int("queue-depth", 0, "admission queue bound per shard; excess sheds with 429 (0 = 32x batch)")
+		maxStreams = fs.Int("max-streams", 64, "concurrently open slot streams per shard (negative = uncapped)")
+		maxDirect  = fs.Int("max-direct", 0, "concurrent direct-path requests per shard (0 = uncapped)")
+		tenants    = fs.String("tenant-weights", "", "weighted-fair admission shares, e.g. gold=9,free=1 (unlisted tenants weigh 1)")
 		drainWait  time.Duration
 	)
 	// -drain-timeout bounds graceful shutdown: a wedged connection — a
@@ -110,6 +141,10 @@ func run(ctx context.Context, args []string, stdout io.Writer, ready chan<- net.
 	if cacheSize <= 0 {
 		cacheSize = -1 // Config: negative disables, zero means default
 	}
+	weights, err := parseTenantWeights(*tenants)
+	if err != nil {
+		return err
+	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
@@ -126,6 +161,10 @@ func run(ctx context.Context, args []string, stdout io.Writer, ready chan<- net.
 		CacheSize:      cacheSize,
 		PlannerOptions: opts,
 		SlowRequests:   *slow,
+		QueueDepth:     *queueDepth,
+		MaxStreams:     *maxStreams,
+		MaxDirect:      *maxDirect,
+		TenantWeights:  weights,
 	})
 	srv := &http.Server{Handler: svc.Handler()}
 	if *debugAddr != "" {

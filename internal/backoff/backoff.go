@@ -1,0 +1,42 @@
+// Package backoff holds the retry pacing shared by the pops ServiceClient
+// and the cluster proxy: capped exponential delays with half-to-full
+// jitter, so a fleet of callers that observed the same overload or the same
+// backend death at the same moment does not retry in synchronized waves.
+package backoff
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Jitter maps a backoff step to a uniform pause in [d/2, d]. It is the
+// jitter the cluster proxy has always applied to failover pauses, shared
+// here so client-side 429 retries pace the same way.
+func Jitter(d time.Duration) time.Duration {
+	if d <= 1 {
+		return d
+	}
+	half := d / 2
+	return half + time.Duration(rand.Int63n(int64(d-half)+1))
+}
+
+// Delay computes the un-jittered pause before retry attempt (0-based):
+// base doubled per attempt, raised to floor when the server's Retry-After
+// hint asks for longer, and clamped to max (when max > 0). Callers jitter
+// the result themselves so tests can pin the schedule.
+func Delay(base, max time.Duration, attempt int, floor time.Duration) time.Duration {
+	if base <= 0 {
+		base = 10 * time.Millisecond
+	}
+	d := base
+	for i := 0; i < attempt && d < (1<<62)/2; i++ {
+		d *= 2
+	}
+	if d < floor {
+		d = floor
+	}
+	if max > 0 && d > max {
+		d = max
+	}
+	return d
+}

@@ -1,0 +1,174 @@
+package cluster
+
+import (
+	"math"
+	"time"
+)
+
+// Per-backend circuit breaker. The health checker answers "is the node
+// reachable"; the breaker answers "is the node behaving" — a backend that
+// accepts connections but fails forwards repeatedly, or whose latency EWMA
+// has drifted past the configured ceiling, is cut out of placement before it
+// drags every request down with it.
+//
+// States: closed (normal placement) → open (excluded from placement; trips
+// on BreakerFailures consecutive live-traffic errors or a latency-EWMA
+// breach) → half-open (after BreakerCooldown, once the node answers /healthz
+// again: exactly one live request is admitted as the probe) → closed on
+// probe success, back to open on probe failure.
+const (
+	brClosed int32 = iota
+	brOpen
+	brHalfOpen
+)
+
+const (
+	// brAlpha weighs the newest forward latency in the backend's EWMA,
+	// matching obs.PlanTimes so the two estimates are comparable.
+	brAlpha = 0.2
+	// brMinSamples is how many forwards the latency trip waits for before
+	// trusting the EWMA: one cold-start outlier must not open the breaker.
+	brMinSamples = 8
+)
+
+func breakerStateName(s int32) string {
+	switch s {
+	case brOpen:
+		return "open"
+	case brHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// acquire admits one placement onto b, or reports that the caller should
+// skip to the next ring owner (no error is charged to the backend): the
+// breaker must not be open, a half-open breaker admits exactly one request —
+// the probe — and the backend must be under MaxPerBackend forwards in
+// flight. The returned release must be called once the forward attempt
+// resolves; the in-flight gate covers admission through response headers (a
+// stream's relay phase runs after release).
+func (p *Proxy) acquire(b *backend) (release func(), ok bool) {
+	probe := false
+	switch b.brState.Load() {
+	case brOpen:
+		return nil, false
+	case brHalfOpen:
+		if !b.brProbe.CompareAndSwap(false, true) {
+			return nil, false
+		}
+		probe = true
+	}
+	if n := b.inflight.Add(1); p.cfg.MaxPerBackend > 0 && n > int64(p.cfg.MaxPerBackend) {
+		b.inflight.Add(-1)
+		if probe {
+			b.brProbe.Store(false)
+		}
+		b.sheds.Add(1)
+		return nil, false
+	}
+	return func() {
+		b.inflight.Add(-1)
+		if probe {
+			b.brProbe.Store(false)
+		}
+	}, true
+}
+
+// noteSuccess records a completed forward: the consecutive-error run ends,
+// the latency EWMA absorbs the sample, a half-open probe success closes the
+// breaker, and a closed breaker checks the latency trip. When the breaker
+// enforces a latency ceiling, a half-open probe must also MEET it — a node
+// that answers its probe in 200ms is still the slow node the breaker
+// removed, so the probe re-opens instead of closing.
+func (p *Proxy) noteSuccess(b *backend, elapsed time.Duration) {
+	b.reqFails.Store(0)
+	ewma := b.observeLatency(elapsed)
+	if b.brState.Load() == brHalfOpen {
+		if p.cfg.BreakerLatency > 0 && elapsed > p.cfg.BreakerLatency {
+			p.openBreaker(b)
+			return
+		}
+	}
+	if b.brState.CompareAndSwap(brHalfOpen, brClosed) {
+		return
+	}
+	if p.cfg.BreakerLatency > 0 && b.latSamples.Load() >= brMinSamples &&
+		ewma > p.cfg.BreakerLatency && b.brState.Load() == brClosed {
+		p.openBreaker(b)
+	}
+}
+
+// noteFailure records a live-traffic connection error: a half-open probe
+// failure re-opens immediately; a closed breaker opens after
+// BreakerFailures consecutive errors.
+func (p *Proxy) noteFailure(b *backend) {
+	if b.brState.CompareAndSwap(brHalfOpen, brOpen) {
+		b.brOpens.Add(1)
+		b.brOpenedAt.Store(time.Now().UnixNano())
+		return
+	}
+	if p.cfg.BreakerFailures > 0 && b.reqFails.Add(1) >= int32(p.cfg.BreakerFailures) {
+		p.openBreaker(b)
+	}
+}
+
+// openBreaker trips b open and resets its failure run and latency estimate:
+// a poisoned EWMA from the bad period must not instantly re-trip the breaker
+// after recovery — the estimate restarts with the half-open probe.
+func (p *Proxy) openBreaker(b *backend) {
+	if b.brState.CompareAndSwap(brClosed, brOpen) || b.brState.CompareAndSwap(brHalfOpen, brOpen) {
+		b.brOpens.Add(1)
+		b.brOpenedAt.Store(time.Now().UnixNano())
+		b.reqFails.Store(0)
+		b.latEWMA.Store(0)
+		b.latSamples.Store(0)
+	}
+}
+
+// maybeHalfOpen moves an open breaker to half-open once its cooldown has
+// passed and the node answers /healthz again — the breaker's recovery path
+// rides the same prober that re-admits ejected nodes. The next placement
+// acquired on the backend is the probe that decides between closing and
+// re-opening.
+func (p *Proxy) maybeHalfOpen(b *backend) {
+	if b.brState.Load() != brOpen {
+		return
+	}
+	if time.Since(time.Unix(0, b.brOpenedAt.Load())) < p.cfg.BreakerCooldown {
+		return
+	}
+	if b.brState.CompareAndSwap(brOpen, brHalfOpen) {
+		b.brProbe.Store(false)
+	}
+}
+
+// observeLatency folds one forward's wall clock into the backend's EWMA
+// (lock-free CAS on the float bits, like obs.PlanTimes) and returns the
+// updated estimate.
+func (b *backend) observeLatency(d time.Duration) time.Duration {
+	us := float64(d) / float64(time.Microsecond)
+	for {
+		old := b.latEWMA.Load()
+		next := us
+		if old != 0 {
+			prev := math.Float64frombits(old)
+			next = prev + brAlpha*(us-prev)
+		}
+		if b.latEWMA.CompareAndSwap(old, math.Float64bits(next)) {
+			b.latSamples.Add(1)
+			return time.Duration(next * float64(time.Microsecond))
+		}
+	}
+}
+
+// latencyEWMA reads the backend's current forward-latency estimate (0 until
+// a sample lands).
+func (b *backend) latencyEWMA() time.Duration {
+	bits := b.latEWMA.Load()
+	if bits == 0 {
+		return 0
+	}
+	return time.Duration(math.Float64frombits(bits) * float64(time.Microsecond))
+}

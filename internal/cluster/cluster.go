@@ -28,7 +28,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"math/rand"
 	"net/http"
 	"net/url"
 	"sync"
@@ -36,6 +35,7 @@ import (
 	"time"
 
 	"pops"
+	"pops/internal/backoff"
 	"pops/internal/obs"
 	"pops/internal/wire"
 )
@@ -64,6 +64,22 @@ type Config struct {
 	// RetryBackoff is the pause before the first failover attempt, doubled
 	// per further attempt. Default 10ms.
 	RetryBackoff time.Duration
+	// MaxPerBackend caps how many proxied forwards may be in flight on one
+	// backend; placements over the cap skip to the next ring owner, and shed
+	// with 429 + Retry-After when no owner can take them. Default 128;
+	// negative uncaps.
+	MaxPerBackend int
+	// BreakerFailures is the consecutive live-traffic connection-error count
+	// that trips a backend's circuit breaker open. Default 5; negative
+	// disables the consecutive-error trip.
+	BreakerFailures int
+	// BreakerLatency trips the breaker open when a backend's forward-latency
+	// EWMA exceeds it (after a minimum of 8 samples) — cutting out a node
+	// that is alive but pathologically slow. Default 0 = disabled.
+	BreakerLatency time.Duration
+	// BreakerCooldown is how long an open breaker waits before a successful
+	// health probe moves it to half-open. Default 1s.
+	BreakerCooldown time.Duration
 	// Client is the HTTP client shared by placement traffic and health
 	// probes. Default: a dedicated client with a pooled transport.
 	Client *http.Client
@@ -93,6 +109,19 @@ func (c Config) withDefaults() Config {
 	if c.RetryBackoff <= 0 {
 		c.RetryBackoff = 10 * time.Millisecond
 	}
+	if c.MaxPerBackend == 0 {
+		c.MaxPerBackend = 128
+	} else if c.MaxPerBackend < 0 {
+		c.MaxPerBackend = 0
+	}
+	if c.BreakerFailures == 0 {
+		c.BreakerFailures = 5
+	} else if c.BreakerFailures < 0 {
+		c.BreakerFailures = 0
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = time.Second
+	}
 	if c.Client == nil {
 		c.Client = &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 128}}
 	}
@@ -116,6 +145,19 @@ type backend struct {
 	failovers atomic.Uint64 // requests that left here for the next owner
 	errors    atomic.Uint64 // connection errors observed here
 	ejections atomic.Uint64 // healthy -> ejected transitions
+
+	inflight atomic.Int64  // proxied forwards currently on this backend
+	sheds    atomic.Uint64 // overload verdicts here: backend 429s + proxy-cap skips
+
+	// Circuit breaker (see breaker.go): state machine, trip inputs, and the
+	// forward-latency EWMA (float64 bits, microseconds).
+	brState    atomic.Int32
+	brOpens    atomic.Uint64
+	brOpenedAt atomic.Int64 // unix nanos of the last open transition
+	brProbe    atomic.Bool  // half-open single-probe token
+	reqFails   atomic.Int32 // consecutive live-traffic connection errors
+	latEWMA    atomic.Uint64
+	latSamples atomic.Int64
 }
 
 // markDown ejects the backend immediately (live-traffic connection error):
@@ -250,20 +292,23 @@ func (p *Proxy) probeAll() {
 			}
 			b.fails.Store(0)
 			b.healthy.Store(true)
+			p.maybeHalfOpen(b)
 		}(b)
 	}
 	wg.Wait()
 }
 
 // ownersFor resolves the failover chain of one placement key: the live ring
-// owners in successor order. If every backend is ejected the full ring order
-// is returned instead — placement degrades to "try them all" rather than
-// refusing traffic on a pessimistic health verdict.
+// owners in successor order, excluding nodes whose circuit breaker is open
+// (half-open nodes stay in the chain — one placement is their recovery
+// probe). If every backend is ejected or open the full ring order is
+// returned instead — placement degrades to "try them all" rather than
+// refusing traffic on a pessimistic verdict.
 func (p *Proxy) ownersFor(key uint64) []*backend {
 	idx := p.ring.owners(key, p.ring.n, make([]int, 0, p.ring.n))
 	live := make([]*backend, 0, len(idx))
 	for _, i := range idx {
-		if p.backends[i].healthy.Load() {
+		if p.backends[i].healthy.Load() && p.backends[i].brState.Load() != brOpen {
 			live = append(live, p.backends[i])
 		}
 	}
@@ -280,12 +325,10 @@ func (p *Proxy) ownersFor(key uint64) []*backend {
 // defaultJitter maps a doubling backoff step to a uniform pause in
 // [d/2, d]. Without it, every proxy that observed the same backend death
 // at the same moment retries the surviving owners in synchronized waves.
+// The spread is shared with the client's overload retries (internal/backoff)
+// so both tiers decorrelate the same way.
 func defaultJitter(d time.Duration) time.Duration {
-	if d <= 1 {
-		return d
-	}
-	half := d / 2
-	return half + time.Duration(rand.Int63n(int64(d-half)+1))
+	return backoff.Jitter(d)
 }
 
 // isConnErr reports whether err is a transport-level failure — the backend
@@ -297,46 +340,85 @@ func isConnErr(err error) bool {
 	return errors.As(err, &ue)
 }
 
-// tryOwners runs fn against each owner of key in failover order: the ring
-// owner first, then — after a doubling backoff, for connection errors only —
-// up to Retries further successors. A backend that fails a connection is
-// ejected immediately (markDown); the health loop re-admits it when its
-// /healthz recovers. Deterministic errors (bad requests, per-plan failures)
-// are returned from the first node that produced them.
+// tryOwners runs fn against the owners of key in failover order: the ring
+// owner first, then successors. How a failure moves on depends on what kind
+// it is — that distinction is the heart of overload-aware failover:
+//
+//   - Unadmittable owner (breaker open, or at the MaxPerBackend cap): skipped
+//     silently, no pause — nothing was sent, so nothing is charged.
+//   - Connection error: the node is dead — ejected immediately (markDown) and
+//     charged to its breaker; the next owner is tried after a doubling,
+//     jittered backoff, up to Retries times. The health loop re-admits the
+//     node when its /healthz recovers.
+//   - Overload verdict (*pops.OverloadError — the backend answered 429): the
+//     node is alive and explicitly shedding, so it is neither ejected nor
+//     backed off from; the request spills to the next owner once, and a
+//     second shed is relayed to the caller, whose Retry-After backoff is the
+//     correct response to fleet-wide pressure.
+//   - Deterministic error (bad request, per-plan failure): returned from the
+//     first node that produced it — every node would repeat it.
+//
+// If no owner could even be attempted, the proxy itself sheds with a typed
+// overload verdict ("backend" queue), which the HTTP layer maps to 429.
 func tryOwners[T any](p *Proxy, ctx context.Context, key uint64, fn func(*backend) (T, error)) (T, error) {
 	var zero T
 	owners := p.ownersFor(key)
-	attempts := p.cfg.Retries + 1
-	if attempts > len(owners) {
-		attempts = len(owners)
-	}
-	var lastErr error
-	for i := 0; i < attempts; i++ {
-		if i > 0 {
-			backoff := p.jitter(p.cfg.RetryBackoff << uint(i-1))
-			select {
-			case <-time.After(backoff):
-			case <-ctx.Done():
-				return zero, ctx.Err()
-			}
+	var lastErr error      // last connection error
+	var lastOverload error // last overload verdict
+	connRetries, spills, tried := 0, 0, 0
+	for _, b := range owners {
+		release, ok := p.acquire(b)
+		if !ok {
+			continue
 		}
-		b := owners[i]
+		tried++
+		start := time.Now()
 		v, err := fn(b)
+		release()
 		if err == nil {
+			p.noteSuccess(b, time.Since(start))
 			return v, nil
 		}
 		if ctx.Err() != nil {
 			return zero, ctx.Err()
 		}
+		var oe *pops.OverloadError
+		if errors.As(err, &oe) {
+			b.sheds.Add(1)
+			if spills == 0 {
+				spills++
+				lastOverload = err
+				continue // spill once, without a pause: siblings may have room
+			}
+			return zero, err
+		}
 		if !isConnErr(err) {
+			b.reqFails.Store(0) // a deterministic answer means the node is alive
 			return zero, err
 		}
 		b.errors.Add(1)
 		b.failovers.Add(1)
 		b.markDown(p.cfg.FailAfter)
+		p.noteFailure(b)
 		lastErr = err
+		if connRetries >= p.cfg.Retries {
+			break
+		}
+		connRetries++
+		pause := p.jitter(p.cfg.RetryBackoff << uint(connRetries-1))
+		select {
+		case <-time.After(pause):
+		case <-ctx.Done():
+			return zero, ctx.Err()
+		}
 	}
-	return zero, fmt.Errorf("cluster: all %d placement attempt(s) failed: %w", attempts, lastErr)
+	if lastErr != nil {
+		return zero, fmt.Errorf("cluster: all %d placement attempt(s) failed: %w", tried, lastErr)
+	}
+	if lastOverload != nil {
+		return zero, lastOverload
+	}
+	return zero, &pops.OverloadError{Queue: "backend", RetryAfter: 50 * time.Millisecond}
 }
 
 // Execute plans one workload on POPS(d, g) on the workload's ring owner,
@@ -398,13 +480,16 @@ func (p *Proxy) Backends() []wire.BackendStats {
 	out := make([]wire.BackendStats, len(p.backends))
 	for i, b := range p.backends {
 		out[i] = wire.BackendStats{
-			ID:        b.id,
-			Healthy:   b.healthy.Load(),
-			Requests:  b.requests.Load(),
-			Streams:   b.streams.Load(),
-			Failovers: b.failovers.Load(),
-			Errors:    b.errors.Load(),
-			Ejections: b.ejections.Load(),
+			ID:           b.id,
+			Healthy:      b.healthy.Load(),
+			Requests:     b.requests.Load(),
+			Streams:      b.streams.Load(),
+			Failovers:    b.failovers.Load(),
+			Errors:       b.errors.Load(),
+			Ejections:    b.ejections.Load(),
+			Sheds:        b.sheds.Load(),
+			BreakerState: breakerStateName(b.brState.Load()),
+			BreakerOpens: b.brOpens.Load(),
 		}
 	}
 	return out

@@ -5,10 +5,12 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"strconv"
+	"time"
 
 	"pops"
 	"pops/internal/obs"
@@ -112,13 +114,15 @@ func requestKey(req *wire.RouteRequest) uint64 {
 }
 
 // forward posts body to path on the owners of key in failover order and
-// returns the first reachable backend's response (any status: non-2xx
-// answers are deterministic and are relayed, not retried). The caller owns
-// the response body. The request ID travels on the backend hop as
-// X-Request-Id, and sp (nil-safe) records which backend ultimately answered;
-// attempts run sequentially on the calling goroutine, so the last write
-// wins without synchronization.
-func (p *Proxy) forward(ctx context.Context, key uint64, path string, body []byte, stream bool, id string, sp *obs.Span) (*http.Response, error) {
+// returns the first reachable backend's response (non-2xx answers other than
+// overload verdicts are deterministic and are relayed, not retried; a 429 is
+// surfaced as *pops.OverloadError so tryOwners can spill it once). The
+// caller owns the response body. The request ID travels on the backend hop
+// as X-Request-Id, the caller's deadline and tenant headers travel with it,
+// and sp (nil-safe) records which backend ultimately answered; attempts run
+// sequentially on the calling goroutine, so the last write wins without
+// synchronization.
+func (p *Proxy) forward(ctx context.Context, key uint64, path string, body []byte, stream bool, id string, hdr http.Header, sp *obs.Span) (*http.Response, error) {
 	return tryOwners(p, ctx, key, func(b *backend) (*http.Response, error) {
 		b.requests.Add(1)
 		if stream {
@@ -133,17 +137,64 @@ func (p *Proxy) forward(ctx context.Context, key uint64, path string, body []byt
 		}
 		req.Header.Set("Content-Type", "application/json")
 		req.Header.Set("X-Request-Id", id)
-		return p.cfg.Client.Do(req)
+		for _, h := range []string{wire.HeaderDeadline, wire.HeaderTenant} {
+			if v := hdr.Get(h); v != "" {
+				req.Header.Set(h, v)
+			}
+		}
+		resp, err := p.cfg.Client.Do(req)
+		if err != nil {
+			return nil, err
+		}
+		if oe := pops.OverloadFromResponse(resp); oe != nil {
+			// Shedding is not death: drain the 429 and hand tryOwners the
+			// typed verdict — it spills to the next ring owner once instead
+			// of ejecting a backend that is alive and protecting itself.
+			_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 64<<10))
+			resp.Body.Close()
+			return nil, oe
+		}
+		return resp, nil
 	})
 }
 
 // forwardError maps a forwarding failure to the proxy's answer: a caller
-// hang-up stays silent, exhausted failover is 502.
+// hang-up stays silent, an overload verdict is relayed as 429 + Retry-After,
+// exhausted failover is 502.
 func forwardError(w http.ResponseWriter, ctx context.Context, err error) {
 	if ctx.Err() != nil {
 		return // the caller went away; nobody is reading the answer
 	}
+	var oe *pops.OverloadError
+	if errors.As(err, &oe) {
+		writeOverload(w, oe)
+		return
+	}
 	http.Error(w, err.Error(), http.StatusBadGateway)
+}
+
+// writeOverload answers an overload verdict exactly as popsserved does —
+// 429 with the Retry-After pair and attribution headers — so a client
+// behind the proxy sheds and backs off identically to one talking to a
+// single node.
+func writeOverload(w http.ResponseWriter, oe *pops.OverloadError) {
+	ra := oe.RetryAfter
+	if ra <= 0 {
+		ra = 50 * time.Millisecond
+	}
+	secs := int64((ra + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	w.Header().Set(wire.HeaderRetryAfterMs, strconv.FormatInt(int64((ra+time.Millisecond-1)/time.Millisecond), 10))
+	if oe.Queue != "" {
+		w.Header().Set(wire.HeaderOverloadQueue, oe.Queue)
+	}
+	if oe.Tenant != "" {
+		w.Header().Set(wire.HeaderTenant, oe.Tenant)
+	}
+	http.Error(w, oe.Error(), http.StatusTooManyRequests)
 }
 
 func (p *Proxy) handleRoute(w http.ResponseWriter, r *http.Request) {
@@ -169,7 +220,7 @@ func (p *Proxy) handleRoute(w http.ResponseWriter, r *http.Request) {
 	sp.Strategy = req.Strategy
 	sp.Workload = req.Workload
 	sp.Begin(obs.PhaseForward)
-	resp, err := p.forward(ctx, requestKey(&req), "/route", body, false, id, sp)
+	resp, err := p.forward(ctx, requestKey(&req), "/route", body, false, id, r.Header, sp)
 	sp.End()
 	if err != nil {
 		forwardError(w, ctx, err)
@@ -227,7 +278,7 @@ func (p *Proxy) handleRouteStream(w http.ResponseWriter, r *http.Request) {
 	// stream's wall clock is dominated by how fast the caller reads.
 	defer p.tracer.Finish(sp)
 	sp.Begin(obs.PhaseForward)
-	resp, err := p.forward(ctx, requestKey(&req), "/route/stream", body, true, id, sp)
+	resp, err := p.forward(ctx, requestKey(&req), "/route/stream", body, true, id, r.Header, sp)
 	sp.End()
 	if err != nil {
 		forwardError(w, ctx, err)
@@ -292,7 +343,8 @@ func (p *Proxy) handleSlots(w http.ResponseWriter, r *http.Request) {
 	ctx := r.Context()
 	slots, err := p.Slots(ctx, d, g)
 	if err != nil {
-		if isConnErr(err) || ctx.Err() != nil {
+		var oe *pops.OverloadError
+		if isConnErr(err) || errors.As(err, &oe) || ctx.Err() != nil {
 			forwardError(w, ctx, err)
 			return
 		}

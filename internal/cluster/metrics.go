@@ -12,7 +12,7 @@ import (
 // the live counters; backend-reported metrics are not re-exported here
 // (scrape the backends, or read the fleet-merged GET /stats).
 func (p *Proxy) collectMetrics(mw *obs.MetricWriter) {
-	var healthy, requests, streams, failovers, errors, ejections uint64
+	var healthy, requests, streams, failovers, errors, ejections, sheds, opens uint64
 	for _, b := range p.backends {
 		if b.healthy.Load() {
 			healthy++
@@ -22,6 +22,8 @@ func (p *Proxy) collectMetrics(mw *obs.MetricWriter) {
 		failovers += b.failovers.Load()
 		errors += b.errors.Load()
 		ejections += b.ejections.Load()
+		sheds += b.sheds.Load()
+		opens += b.brOpens.Load()
 	}
 
 	mw.Gauge("pops_fleet_backends", "Backends configured on the ring.")
@@ -38,6 +40,10 @@ func (p *Proxy) collectMetrics(mw *obs.MetricWriter) {
 	mw.Value("", float64(errors))
 	mw.Counter("pops_fleet_ejections_total", "Healthy-to-ejected backend transitions.")
 	mw.Value("", float64(ejections))
+	mw.Counter("pops_fleet_sheds_total", "Overload verdicts observed across backends (429s plus proxy-cap skips).")
+	mw.Value("", float64(sheds))
+	mw.Counter("pops_fleet_breaker_opens_total", "Circuit-breaker open transitions across backends.")
+	mw.Value("", float64(opens))
 
 	mw.Gauge("pops_proxy_backend_healthy", "Whether the backend is admitted to placement (1) or ejected (0).")
 	for _, b := range p.backends {
@@ -66,6 +72,33 @@ func (p *Proxy) collectMetrics(mw *obs.MetricWriter) {
 	mw.Counter("pops_proxy_backend_ejections_total", "Healthy-to-ejected transitions of the backend.")
 	for _, b := range p.backends {
 		mw.Value(obs.Labels("backend", b.id), float64(b.ejections.Load()))
+	}
+	mw.Counter("pops_proxy_backend_sheds_total", "Overload verdicts observed on the backend (429s plus proxy-cap skips).")
+	for _, b := range p.backends {
+		mw.Value(obs.Labels("backend", b.id), float64(b.sheds.Load()))
+	}
+	mw.Gauge("pops_proxy_backend_inflight", "Proxied forwards currently in flight on the backend.")
+	for _, b := range p.backends {
+		mw.Value(obs.Labels("backend", b.id), float64(b.inflight.Load()))
+	}
+	mw.Gauge("pops_proxy_backend_breaker_state", "Circuit-breaker state: 0 closed, 1 half-open, 2 open.")
+	for _, b := range p.backends {
+		v := 0.0
+		switch b.brState.Load() {
+		case brHalfOpen:
+			v = 1
+		case brOpen:
+			v = 2
+		}
+		mw.Value(obs.Labels("backend", b.id), v)
+	}
+	mw.Counter("pops_proxy_backend_breaker_opens_total", "Circuit-breaker open transitions of the backend.")
+	for _, b := range p.backends {
+		mw.Value(obs.Labels("backend", b.id), float64(b.brOpens.Load()))
+	}
+	mw.Gauge("pops_proxy_backend_latency_ewma_seconds", "Forward-latency EWMA of the backend (alpha 0.2).")
+	for _, b := range p.backends {
+		mw.Value(obs.Labels("backend", b.id), b.latencyEWMA().Seconds())
 	}
 
 	mw.HistogramFamily("pops_proxy_request_latency_seconds", "Proxy end-to-end /route latency (forward plus relay).")

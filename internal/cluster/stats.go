@@ -52,13 +52,43 @@ func (p *Proxy) Stats(ctx context.Context) (*wire.StatsResponse, error) {
 		agg.CacheMisses += s.CacheMisses
 		agg.FaultPlans += s.FaultPlans
 		agg.Unroutable += s.Unroutable
+		agg.Sheds += s.Sheds
+		agg.DeadlineSheds += s.DeadlineSheds
+		agg.Tenants = mergeTenants(agg.Tenants, s.Tenants)
 		agg.Latency = mergeBuckets(agg.Latency, s.Latency)
 		agg.TimeToFirstSlot = mergeBuckets(agg.TimeToFirstSlot, s.TimeToFirstSlot)
 		agg.PlanTimes = mergePlanTimes(agg.PlanTimes, s.PlanTimes)
 		agg.Shards = append(agg.Shards, s.Shards...)
 	}
 	sortPlanTimes(agg.PlanTimes)
+	sort.Slice(agg.Tenants, func(a, b int) bool { return agg.Tenants[a].Tenant < agg.Tenants[b].Tenant })
 	return agg, nil
+}
+
+// mergeTenants folds one node's per-tenant fairness ledger into the fleet
+// aggregate, keyed by tenant name. Weights are configuration, identical
+// across a correctly-deployed fleet, so the first node to report one wins.
+func mergeTenants(dst, src []wire.TenantStats) []wire.TenantStats {
+	for _, s := range src {
+		merged := false
+		for i := range dst {
+			if dst[i].Tenant != s.Tenant {
+				continue
+			}
+			dst[i].Admitted += s.Admitted
+			dst[i].Shed += s.Shed
+			dst[i].DeadlineShed += s.DeadlineShed
+			if dst[i].Weight == 0 {
+				dst[i].Weight = s.Weight
+			}
+			merged = true
+			break
+		}
+		if !merged {
+			dst = append(dst, s)
+		}
+	}
+	return dst
 }
 
 // mergePlanTimes folds one node's per-(d, g, strategy) plan-time table into

@@ -1,12 +1,14 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"runtime"
 	"strconv"
+	"time"
 
 	"pops"
 	"pops/internal/obs"
@@ -67,10 +69,77 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 // requestStatus maps a request-level error to its HTTP status.
 func requestStatus(err error) int {
+	var oe *pops.OverloadError
+	if errors.As(err, &oe) {
+		return http.StatusTooManyRequests
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return http.StatusGatewayTimeout
+	}
 	if errors.Is(err, ErrClosed) {
 		return http.StatusServiceUnavailable
 	}
 	return http.StatusBadRequest
+}
+
+// writeError maps a request-level error onto the wire. Overload verdicts
+// answer 429 with the standard Retry-After (whole seconds, rounded up), a
+// millisecond-precision X-Retry-After-Ms, and the queue/tenant refinement
+// headers clients use to reconstruct the typed *pops.OverloadError. An
+// expired propagated deadline answers 504; shutdown stays 503 and malformed
+// requests 400.
+func writeError(w http.ResponseWriter, err error) {
+	var oe *pops.OverloadError
+	if errors.As(err, &oe) {
+		if oe.RetryAfter > 0 {
+			secs := (oe.RetryAfter + time.Second - 1) / time.Second
+			if secs < 1 {
+				secs = 1
+			}
+			w.Header().Set("Retry-After", strconv.FormatInt(int64(secs), 10))
+			ms := (oe.RetryAfter + time.Millisecond - 1) / time.Millisecond
+			w.Header().Set(wire.HeaderRetryAfterMs, strconv.FormatInt(int64(ms), 10))
+		}
+		if oe.Queue != "" {
+			w.Header().Set(wire.HeaderOverloadQueue, oe.Queue)
+		}
+		if oe.Tenant != "" {
+			w.Header().Set(wire.HeaderTenant, oe.Tenant)
+		}
+	}
+	http.Error(w, err.Error(), requestStatus(err))
+}
+
+// requestContext applies a route request's overload-control metadata to its
+// context: the admission tenant (the body field wins over the X-Tenant
+// header) and the propagated absolute deadline (X-Deadline). A deadline
+// that has already passed is shed here — 504 without consuming a queue
+// slot. The returned cancel must run when the handler finishes; ok reports
+// whether the request may proceed (the error response is already written
+// otherwise).
+func (s *Service) requestContext(w http.ResponseWriter, r *http.Request, req *wire.RouteRequest) (ctx context.Context, cancel context.CancelFunc, ok bool) {
+	ctx = r.Context()
+	tenant := req.Tenant
+	if tenant == "" {
+		tenant = r.Header.Get(wire.HeaderTenant)
+	}
+	ctx = pops.ContextWithTenant(ctx, tenant)
+	cancel = func() {}
+	if h := r.Header.Get(wire.HeaderDeadline); h != "" {
+		dl, err := wire.ParseDeadline(h)
+		if err != nil {
+			http.Error(w, "service: "+err.Error(), http.StatusBadRequest)
+			return nil, nil, false
+		}
+		if !dl.After(time.Now()) {
+			s.deadlineSheds.Add(1)
+			s.tenant(tenant).deadlineShed.Add(1)
+			http.Error(w, "service: "+context.DeadlineExceeded.Error(), http.StatusGatewayTimeout)
+			return nil, nil, false
+		}
+		ctx, cancel = context.WithDeadline(ctx, dl)
+	}
+	return ctx, cancel, true
 }
 
 // workloadFromRequest resolves a tagged route request to its pops.Workload.
@@ -141,7 +210,11 @@ func (s *Service) handleRoute(w http.ResponseWriter, r *http.Request) {
 	}
 	id := requestID(r)
 	w.Header().Set("X-Request-Id", id)
-	ctx := r.Context()
+	ctx, cancel, ok := s.requestContext(w, r, &req)
+	if !ok {
+		return
+	}
+	defer cancel()
 	resp := wire.RouteResponse{D: req.D, G: req.G, RequestID: id}
 	if wl != nil {
 		if req.Strategy != "" && req.Strategy != pops.StrategyTheoremTwo {
@@ -152,7 +225,7 @@ func (s *Service) handleRoute(w http.ResponseWriter, r *http.Request) {
 		sp.Workload = wl.Kind()
 		res, err := s.Execute(obs.ContextWithSpan(ctx, sp), req.D, req.G, wl)
 		if err != nil {
-			http.Error(w, err.Error(), requestStatus(err))
+			writeError(w, err)
 			s.tracer.Abandon(sp)
 			return
 		}
@@ -180,7 +253,7 @@ func (s *Service) handleRoute(w http.ResponseWriter, r *http.Request) {
 		sp := s.tracer.Start(id, req.D, req.G)
 		res, err := s.Route(obs.ContextWithSpan(ctx, sp), req.D, req.G, req.Pi, req.Strategy)
 		if err != nil {
-			http.Error(w, err.Error(), requestStatus(err))
+			writeError(w, err)
 			// The micro-batch entry may still be in flight and recording
 			// onto the span — never recycle it from here.
 			s.tracer.Abandon(sp)
@@ -201,7 +274,7 @@ func (s *Service) handleRoute(w http.ResponseWriter, r *http.Request) {
 	// batches go untraced and observe the latency histogram in RouteMany.
 	results, err := s.RouteMany(ctx, req.D, req.G, req.Pis, req.Strategy)
 	if err != nil {
-		http.Error(w, err.Error(), requestStatus(err))
+		writeError(w, err)
 		return
 	}
 	resp.Plans = make([]wire.PlanResult, len(results))
@@ -256,12 +329,17 @@ func (s *Service) handleRouteStream(w http.ResponseWriter, r *http.Request) {
 	// this goroutine, so the span can be pooled when the handler returns.
 	id := requestID(r)
 	w.Header().Set("X-Request-Id", id)
+	reqCtx, cancel, ok := s.requestContext(w, r, &req)
+	if !ok {
+		return
+	}
+	defer cancel()
 	sp := s.tracer.Start(id, req.D, req.G)
 	// Streams observe the latency histogram at exhaustion (Stream.finish),
 	// a planning-side signal that excludes client read speed — so the span
 	// total feeds only the slow ring here, never the histogram.
 	defer s.tracer.Finish(sp)
-	ctx := obs.ContextWithSpan(r.Context(), sp)
+	ctx := obs.ContextWithSpan(reqCtx, sp)
 	var st *Stream
 	if wl != nil {
 		if req.Strategy != "" && req.Strategy != pops.StrategyTheoremTwo {
@@ -278,7 +356,7 @@ func (s *Service) handleRouteStream(w http.ResponseWriter, r *http.Request) {
 		st, err = s.RouteStream(ctx, req.D, req.G, req.Pi, req.Strategy)
 	}
 	if err != nil {
-		http.Error(w, err.Error(), requestStatus(err))
+		writeError(w, err)
 		return
 	}
 	defer st.Close()

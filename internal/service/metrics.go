@@ -33,6 +33,27 @@ func (s *Service) collectMetrics(mw *obs.MetricWriter) {
 	mw.Value("", float64(st.FaultPlans))
 	mw.Counter("pops_unroutable_total", "Fault workloads rejected as unroutable.")
 	mw.Value("", float64(st.Unroutable))
+	mw.Counter("pops_sheds_total", "Requests shed with an overload verdict (HTTP 429).")
+	mw.Value("", float64(st.Sheds))
+	mw.Counter("pops_deadline_sheds_total", "Queued requests dropped because their propagated deadline expired.")
+	mw.Value("", float64(st.DeadlineSheds))
+
+	mw.Counter("pops_tenant_admitted_total", "Requests admitted per tenant (TenantMix fairness ledger).")
+	for _, t := range st.Tenants {
+		mw.Value(tenantLabels(t.Tenant), float64(t.Admitted))
+	}
+	mw.Counter("pops_tenant_shed_total", "Requests shed per tenant with an overload verdict.")
+	for _, t := range st.Tenants {
+		mw.Value(tenantLabels(t.Tenant), float64(t.Shed))
+	}
+	mw.Counter("pops_tenant_deadline_shed_total", "Queued requests dropped per tenant on an expired deadline.")
+	for _, t := range st.Tenants {
+		mw.Value(tenantLabels(t.Tenant), float64(t.DeadlineShed))
+	}
+	mw.Gauge("pops_tenant_weight", "Configured admission weight per tenant.")
+	for _, t := range st.Tenants {
+		mw.Value(tenantLabels(t.Tenant), t.Weight)
+	}
 
 	mw.HistogramFamily("pops_request_latency_seconds", "End-to-end request latency (traced requests observe their span total).")
 	mw.Histogram("", st.Latency, s.latency.Sum())
@@ -46,6 +67,14 @@ func (s *Service) collectMetrics(mw *obs.MetricWriter) {
 	mw.Gauge("pops_shard_cache_entries", "Fingerprint plan-cache entries per live shard.")
 	for _, sh := range st.Shards {
 		mw.Value(shardLabels(sh.D, sh.G), float64(sh.Cache.Entries))
+	}
+	mw.Gauge("pops_shard_queue_len", "Admission-queue occupancy per live shard.")
+	for _, sh := range st.Shards {
+		mw.Value(shardLabels(sh.D, sh.G), float64(sh.QueueLen))
+	}
+	mw.Counter("pops_shard_sheds_total", "Overload rejections per live shard.")
+	for _, sh := range st.Shards {
+		mw.Value(shardLabels(sh.D, sh.G), float64(sh.Sheds))
 	}
 
 	mw.HistogramFamily("pops_plan_time_seconds", "Planning time by shape and strategy (cache hits excluded).")
@@ -64,6 +93,15 @@ func (s *Service) collectMetrics(mw *obs.MetricWriter) {
 
 func shardLabels(d, g int) string {
 	return obs.Labels("d", strconv.Itoa(d), "g", strconv.Itoa(g))
+}
+
+// tenantLabels renders the tenant label; the untagged default tenant scrapes
+// as tenant="default" so the series name is never an empty label value.
+func tenantLabels(tenant string) string {
+	if tenant == "" {
+		tenant = "default"
+	}
+	return obs.Labels("tenant", tenant)
 }
 
 func planLabels(pt obs.PlanTimeStat) string {

@@ -34,6 +34,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -68,6 +69,25 @@ type Config struct {
 	// SlowRequests is how many of the slowest requests the tracer retains
 	// for GET /debug/slow. Default 64.
 	SlowRequests int
+	// QueueDepth bounds each shard's admission queue. An admission that
+	// finds the queue full is rejected immediately with a typed
+	// *pops.OverloadError (HTTP 429) instead of blocking — load past the
+	// bound is shed, not buffered. Default 32×BatchSize; negative means 1.
+	QueueDepth int
+	// MaxStreams bounds concurrently open slot streams per shard; excess
+	// stream admissions are shed with *pops.OverloadError. Default 64;
+	// negative disables the cap.
+	MaxStreams int
+	// MaxDirect bounds concurrently executing direct-path requests per
+	// shard (non-batched strategies and workload kinds). Default 0: no cap,
+	// matching the previous behavior; set it to shed the direct path too.
+	MaxDirect int
+	// TenantWeights assigns admission weights to tenant names for the
+	// TenantMix quota model: when a shard's queue is contended, each tenant
+	// is throttled to its weight's share of the queue's service rate.
+	// Unlisted tenants (including the empty tenant) weigh 1. A nil map
+	// leaves every tenant at weight 1 — fair sharing by request count.
+	TenantWeights map[string]float64
 }
 
 func (c Config) withDefaults() Config {
@@ -86,7 +106,28 @@ func (c Config) withDefaults() Config {
 	if c.CacheSize == 0 {
 		c.CacheSize = 1024
 	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 32 * c.BatchSize
+	} else if c.QueueDepth < 0 {
+		c.QueueDepth = 1
+	}
+	if c.MaxStreams == 0 {
+		c.MaxStreams = 64
+	} else if c.MaxStreams < 0 {
+		c.MaxStreams = 0 // uncapped
+	}
+	if c.MaxDirect < 0 {
+		c.MaxDirect = 0 // uncapped
+	}
 	return c
+}
+
+// tenantWeight resolves a tenant's admission weight (1 unless configured).
+func (c Config) tenantWeight(tenant string) float64 {
+	if w, ok := c.TenantWeights[tenant]; ok && w > 0 {
+		return w
+	}
+	return 1
 }
 
 // ErrClosed is returned for requests admitted after Close started.
@@ -117,7 +158,20 @@ type Service struct {
 	// /stats totals survive shard churn.
 	retiredHits   atomic.Uint64
 	retiredMisses atomic.Uint64
-	latency       obs.Histogram
+	// sheds counts overload rejections (429); deadlineSheds the queued
+	// entries dropped because their propagated deadline expired before a
+	// planner worker touched them. retiredSheds/retiredDeadlineSheds
+	// preserve evicted shards' counts, mirroring the cache counters.
+	sheds                atomic.Uint64
+	deadlineSheds        atomic.Uint64
+	retiredSheds         atomic.Uint64
+	retiredDeadlineSheds atomic.Uint64
+	latency              obs.Histogram
+
+	// tenants is the per-tenant fairness ledger behind /stats and /metrics;
+	// entries are created on a tenant's first admission or shed.
+	tenantMu sync.RWMutex
+	tenants  map[string]*tenantCounters
 
 	// Streaming state: /route/stream requests bypass the admission queues
 	// (each stream owns a worker planner), so graceful drain tracks them
@@ -134,12 +188,37 @@ type Service struct {
 	metrics *obs.Registry
 }
 
+// tenantCounters is one tenant's live fairness ledger.
+type tenantCounters struct {
+	admitted     atomic.Uint64
+	shed         atomic.Uint64
+	deadlineShed atomic.Uint64
+}
+
+// tenant resolves (creating on first use) the ledger for one tenant name.
+func (s *Service) tenant(name string) *tenantCounters {
+	s.tenantMu.RLock()
+	tc := s.tenants[name]
+	s.tenantMu.RUnlock()
+	if tc != nil {
+		return tc
+	}
+	s.tenantMu.Lock()
+	defer s.tenantMu.Unlock()
+	if tc = s.tenants[name]; tc == nil {
+		tc = &tenantCounters{}
+		s.tenants[name] = tc
+	}
+	return tc
+}
+
 // New builds a Service with the given configuration.
 func New(cfg Config) *Service {
 	s := &Service{
-		cfg:    cfg.withDefaults(),
-		shards: make(map[shapeKey]*list.Element),
-		tracer: obs.NewTracer(cfg.SlowRequests),
+		cfg:     cfg.withDefaults(),
+		shards:  make(map[shapeKey]*list.Element),
+		tenants: make(map[string]*tenantCounters),
+		tracer:  obs.NewTracer(cfg.SlowRequests),
 	}
 	s.metrics = obs.NewRegistry()
 	s.metrics.Register(s.collectMetrics)
@@ -209,6 +288,8 @@ func (s *Service) retire(sh *shard) {
 	cs := sh.planner.CacheStats()
 	s.retiredHits.Add(cs.Hits)
 	s.retiredMisses.Add(cs.Misses)
+	s.retiredSheds.Add(sh.sheds.Load())
+	s.retiredDeadlineSheds.Add(sh.deadlineSheds.Load())
 	s.evictedShards.Add(1)
 }
 
@@ -275,8 +356,9 @@ func (s *Service) Execute(ctx context.Context, d, g int, w pops.Workload) (Resul
 // admitted to the shard's queue before any result is awaited, so a batch
 // coalesces with itself (and with concurrent requests) onto RouteBatch.
 // Per-entry outcomes are independent: each result carries its own plan or
-// error, mirroring the pops.Planner.RouteBatch contract. A cancelled ctx
-// abandons the wait and returns ctx.Err().
+// error, mirroring the pops.Planner.RouteBatch contract — an entry shed by
+// the admission bound carries its *pops.OverloadError without failing its
+// batchmates. A cancelled ctx abandons the wait and returns ctx.Err().
 func (s *Service) RouteMany(ctx context.Context, d, g int, pis [][]int, strategy string) ([]Result, error) {
 	defer s.observeLatency(ctx, time.Now())
 	s.requests.Add(uint64(len(pis)))
@@ -297,6 +379,15 @@ func (s *Service) RouteMany(ctx context.Context, d, g int, pis [][]int, strategy
 				retired = true
 				break
 			}
+			var oe *pops.OverloadError
+			if errors.As(err, &oe) {
+				// A shed entry is a per-entry outcome: the rest of the batch
+				// proceeds, so one full queue degrades a batch instead of
+				// erasing it.
+				results[offset+i] = Result{Err: err}
+				admitted++
+				continue
+			}
 			if err != nil {
 				return nil, err
 			}
@@ -304,6 +395,9 @@ func (s *Service) RouteMany(ctx context.Context, d, g int, pis [][]int, strategy
 			admitted++
 		}
 		for i := 0; i < admitted; i++ {
+			if waiters[offset+i] == nil {
+				continue // shed at admission; its Result is already filled
+			}
 			select {
 			case results[offset+i] = <-waiters[offset+i]:
 			case <-ctx.Done():
@@ -351,6 +445,8 @@ func (s *Service) Stats() wire.StatsResponse {
 		CacheMisses:     s.retiredMisses.Load(),
 		FaultPlans:      s.faultPlans.Load(),
 		Unroutable:      s.unroutable.Load(),
+		Sheds:           s.sheds.Load() + s.retiredSheds.Load(),
+		DeadlineSheds:   s.deadlineSheds.Load() + s.retiredDeadlineSheds.Load(),
 		Latency:         s.latency.Snapshot(),
 		TimeToFirstSlot: s.ttfs.Snapshot(),
 		PlanTimes:       s.tracer.Plan.Snapshot(),
@@ -359,8 +455,23 @@ func (s *Service) Stats() wire.StatsResponse {
 		st := sh.stats()
 		resp.CacheHits += st.Cache.Hits
 		resp.CacheMisses += st.Cache.Misses
+		resp.Sheds += st.Sheds
+		resp.DeadlineSheds += st.DeadlineSheds
 		resp.Shards = append(resp.Shards, st)
 	}
+
+	s.tenantMu.RLock()
+	for name, tc := range s.tenants {
+		resp.Tenants = append(resp.Tenants, wire.TenantStats{
+			Tenant:       name,
+			Weight:       s.cfg.tenantWeight(name),
+			Admitted:     tc.admitted.Load(),
+			Shed:         tc.shed.Load(),
+			DeadlineShed: tc.deadlineShed.Load(),
+		})
+	}
+	s.tenantMu.RUnlock()
+	sort.Slice(resp.Tenants, func(i, j int) bool { return resp.Tenants[i].Tenant < resp.Tenants[j].Tenant })
 	return resp
 }
 

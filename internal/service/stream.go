@@ -97,14 +97,23 @@ func (s *Service) admitStreamRetrying(ctx context.Context, d, g int, w pops.Work
 	}
 }
 
-// admitStream checks shutdown state, registers the stream with the
-// service's drain group, and starts planning.
+// admitStream checks shutdown state and the shard's concurrent-stream cap,
+// registers the stream with the service's drain group, and starts planning.
 func (sh *shard) admitStream(ctx context.Context, w pops.Workload, pi []int, strategy string) (*Stream, error) {
 	svc := sh.svc
+	tenant := pops.TenantFromContext(ctx)
 	sh.mu.RLock()
 	if sh.closed {
 		sh.mu.RUnlock()
 		return nil, errShardRetired
+	}
+	// Each open stream owns a worker planner and a goroutine's worth of
+	// factorization, so unbounded streams were the one admission path with
+	// no queue to overflow — cap them like everything else (satisfying the
+	// shed-don't-collapse invariant for /route/stream too).
+	if !sh.acquireStream() {
+		sh.mu.RUnlock()
+		return nil, sh.shed(tenant, "stream")
 	}
 	// Registered under the admission lock so a concurrent Close cannot
 	// start waiting on the drain group before this stream is counted.
@@ -115,6 +124,7 @@ func (sh *shard) admitStream(ctx context.Context, w pops.Workload, pi []int, str
 	ok := false
 	defer func() {
 		if !ok {
+			sh.releaseStream()
 			svc.streamsWG.Done()
 		}
 	}()
@@ -174,6 +184,7 @@ func (sh *shard) admitStream(ctx context.Context, w pops.Workload, pi []int, str
 	sh.streams.Add(1)
 	svc.requests.Add(1)
 	svc.streams.Add(1)
+	svc.tenant(tenant).admitted.Add(1)
 	ok = true
 	return st, nil
 }
@@ -244,8 +255,9 @@ func (st *Stream) finish() {
 	st.svc.latency.Observe(time.Since(st.start))
 }
 
-// Close releases the stream's worker planner and unblocks graceful drain.
-// Idempotent; always call it, drained or not.
+// Close releases the stream's worker planner, frees its slot against the
+// shard's concurrent-stream cap, and unblocks graceful drain. Idempotent;
+// always call it, drained or not.
 func (st *Stream) Close() {
 	if st.closed {
 		return
@@ -254,5 +266,6 @@ func (st *Stream) Close() {
 	if st.ps != nil {
 		st.ps.Close()
 	}
+	st.sh.releaseStream()
 	st.svc.streamsWG.Done()
 }

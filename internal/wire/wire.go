@@ -11,9 +11,49 @@
 package wire
 
 import (
+	"fmt"
+	"strconv"
+	"time"
+
 	"pops/internal/obs"
 	"pops/internal/popsnet"
 )
+
+// Overload-control headers shared by client, service, and proxy.
+const (
+	// HeaderDeadline carries the caller's absolute deadline across process
+	// boundaries as microseconds since the Unix epoch (see EncodeDeadline).
+	// The receiving tier derives its request context's deadline from it, so
+	// a queued request whose caller has already given up is shed before it
+	// consumes a planner worker.
+	HeaderDeadline = "X-Deadline"
+	// HeaderTenant names the admission tenant of a request. The body field
+	// RouteRequest.Tenant wins when both are set; the header exists so
+	// GET-style calls and proxies can tag without rewriting bodies.
+	HeaderTenant = "X-Tenant"
+	// HeaderRetryAfterMs refines the standard Retry-After header (whole
+	// seconds, rounded up) with the server's millisecond-precision backoff
+	// hint on 429 responses.
+	HeaderRetryAfterMs = "X-Retry-After-Ms"
+	// HeaderOverloadQueue names which bound shed the request ("admission",
+	// "stream", "direct", "backend"), so clients reconstruct the typed
+	// *pops.OverloadError instead of string-matching the body.
+	HeaderOverloadQueue = "X-Overload-Queue"
+)
+
+// EncodeDeadline renders an absolute deadline for HeaderDeadline.
+func EncodeDeadline(t time.Time) string {
+	return strconv.FormatInt(t.UnixMicro(), 10)
+}
+
+// ParseDeadline decodes a HeaderDeadline value.
+func ParseDeadline(s string) (time.Time, error) {
+	us, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return time.Time{}, fmt.Errorf("wire: deadline header %q is not unix microseconds", s)
+	}
+	return time.UnixMicro(us), nil
+}
 
 // Workload kind tags of the tagged request schema, mirroring the
 // pops.Workload constructors. An empty workload field means "permutation".
@@ -69,6 +109,12 @@ type RouteRequest struct {
 	// Workload tags the request kind (WorkloadPermutation, ...). Empty
 	// means WorkloadPermutation, the original untagged schema.
 	Workload string `json:"workload,omitempty"`
+	// Tenant names the admission tenant this request is charged to (the
+	// TenantMix workload model): each tenant holds a weighted-fair share of
+	// every shard's admission queue, and /stats reports per-tenant admitted
+	// and shed counters. Empty requests share the default quota. The
+	// X-Tenant header is a fallback for callers that cannot edit bodies.
+	Tenant string `json:"tenant,omitempty"`
 	// Pi is the single-permutation form; the response carries one plan.
 	Pi []int `json:"pi,omitempty"`
 	// Pis is the batch form; the response carries one plan per entry, in
@@ -212,10 +258,39 @@ type ShardStats struct {
 	// Batches and BatchedRequests describe the micro-batching admission
 	// queue: BatchedRequests/Batches is the mean coalesced batch size, and
 	// MaxBatch the largest flush observed.
-	Batches         uint64     `json:"batches"`
-	BatchedRequests uint64     `json:"batched_requests"`
-	MaxBatch        uint64     `json:"max_batch"`
-	Cache           CacheStats `json:"cache"`
+	Batches         uint64 `json:"batches"`
+	BatchedRequests uint64 `json:"batched_requests"`
+	MaxBatch        uint64 `json:"max_batch"`
+	// QueueLen/QueueCap snapshot the bounded admission queue: entries
+	// waiting for a micro-batch flush against the configured depth.
+	QueueLen int `json:"queue_len,omitempty"`
+	QueueCap int `json:"queue_cap,omitempty"`
+	// Sheds counts admissions this shard rejected with an overload verdict
+	// (queue full, tenant quota, stream cap); DeadlineSheds the queued
+	// entries dropped at flush because their deadline had already passed.
+	Sheds         uint64 `json:"sheds,omitempty"`
+	DeadlineSheds uint64 `json:"deadline_sheds,omitempty"`
+	// ActiveStreams is the number of open slot streams held against the
+	// shard's concurrent-stream cap.
+	ActiveStreams int64      `json:"active_streams,omitempty"`
+	Cache         CacheStats `json:"cache"`
+}
+
+// TenantStats is one tenant's admission-fairness ledger: its configured
+// weight and how many of its requests were admitted or shed.
+type TenantStats struct {
+	// Tenant is the tenant name; "" reports the default (untagged) tenant.
+	Tenant string `json:"tenant"`
+	// Weight is the tenant's configured admission weight (1 when unset).
+	Weight float64 `json:"weight,omitempty"`
+	// Admitted counts requests accepted into a shard queue, stream slot, or
+	// direct-execution slot under this tenant.
+	Admitted uint64 `json:"admitted"`
+	// Shed counts requests rejected with an overload verdict (429).
+	Shed uint64 `json:"shed"`
+	// DeadlineShed counts queued requests dropped because their propagated
+	// deadline expired before a planner worker picked them up.
+	DeadlineShed uint64 `json:"deadline_shed,omitempty"`
 }
 
 // LatencyBucket is one bucket of the request-latency histogram: Count
@@ -264,9 +339,17 @@ type StatsResponse struct {
 	CacheMisses   uint64 `json:"cache_misses"`
 	// FaultPlans counts faulty-permutation workloads served; Unroutable
 	// counts the subset rejected with a typed unroutable verdict.
-	FaultPlans uint64          `json:"fault_plans,omitempty"`
-	Unroutable uint64          `json:"unroutable,omitempty"`
-	Latency    []LatencyBucket `json:"latency"`
+	FaultPlans uint64 `json:"fault_plans,omitempty"`
+	Unroutable uint64 `json:"unroutable,omitempty"`
+	// Sheds counts requests rejected with an overload verdict (429);
+	// DeadlineSheds the queued entries dropped because their propagated
+	// deadline expired before planning started. Both are included in
+	// neither Requests' successes nor the latency histogram.
+	Sheds         uint64 `json:"sheds,omitempty"`
+	DeadlineSheds uint64 `json:"deadline_sheds,omitempty"`
+	// Tenants is the per-tenant fairness ledger, sorted by tenant name.
+	Tenants []TenantStats   `json:"tenants,omitempty"`
+	Latency []LatencyBucket `json:"latency"`
 	// TimeToFirstSlot is the streaming analogue of Latency: time from
 	// stream admission until the first slot fragment was ready to flush.
 	// It is the measured signal for the per-shape cost model (see ROADMAP).
@@ -304,6 +387,15 @@ type BackendStats struct {
 	// ejected this node from the ring (health-probe failures or consecutive
 	// request errors crossing the threshold).
 	Ejections uint64 `json:"ejections,omitempty"`
+	// Sheds counts overload verdicts (429) the proxy observed from this
+	// node or imposed on its behalf (the per-backend concurrency limit).
+	Sheds uint64 `json:"sheds,omitempty"`
+	// BreakerState is the proxy's circuit-breaker verdict for the node:
+	// "closed" (serving), "open" (tripped, excluded from placement until
+	// the cooldown), or "half-open" (probing with one trial request).
+	BreakerState string `json:"breaker_state,omitempty"`
+	// BreakerOpens counts closed→open breaker transitions.
+	BreakerOpens uint64 `json:"breaker_opens,omitempty"`
 	// CacheHits/CacheMisses echo the node's own totals, so per-node cache
 	// affinity is visible without fetching every node's /stats.
 	CacheHits   uint64 `json:"cache_hits"`
