@@ -18,16 +18,18 @@ vet:
 tier1: build vet test
 
 race:
-	go test -race . ./internal/popsnet ./internal/service/... ./internal/cluster/... ./internal/chaos ./cmd/popsserved ./cmd/popsproxy
+	go test -race . ./internal/popsnet ./internal/wirebin ./internal/service/... ./internal/cluster/... ./internal/chaos ./cmd/popsserved ./cmd/popsproxy
 
 # End-to-end serving smoke: start popsserved on an ephemeral port, route a
 # permutation through pops.ServiceClient, and assert the second call is
 # answered by the fingerprint plan cache (plan flag + /stats hit counter).
 # TestServeSmokeStream additionally POSTs /route/stream over raw TCP and
-# asserts the slot records arrive as >= 2 separate HTTP chunks, and
-# TestServeSmokeStreamHRelation round-trips an h-relation workload through
-# /route/stream the same way — >= 2 chunks, and a workload plan cache hit
-# when the identical relation is streamed again.
+# asserts the slot records arrive as >= 2 separate HTTP chunks,
+# TestServeSmokeStreamBinary repeats that with Accept: application/x-pops-bin
+# (binary Content-Type negotiated, >= 2 chunks, frames decode to
+# meta + slots + done), and TestServeSmokeStreamHRelation round-trips an
+# h-relation workload through /route/stream the same way — >= 2 chunks, and
+# a workload plan cache hit when the identical relation is streamed again.
 serve-smoke:
 	go test -run 'TestServeSmoke|TestServeSmokeStream' -count=1 -v ./cmd/popsserved
 
@@ -36,7 +38,9 @@ serve-smoke:
 # single-node client, kill one backend mid-trace, and assert zero failed
 # requests (the dead node is ejected, its keys fail over to the next ring
 # owner) plus a full-trace replay answered from the owning nodes' plan
-# caches. TestClusterSmokeStream repeats the exercise for /route/stream.
+# caches. TestClusterSmokeStream repeats the exercise for /route/stream, and
+# TestClusterSmokeStreamBinary pins the codec to binary end to end — the
+# proxy must relay the backends' binary framing intact.
 cluster-smoke:
 	go test -run 'TestClusterSmoke' -count=1 -v ./cmd/popsproxy
 
@@ -89,9 +93,13 @@ bench-smoke:
 # delta is recorded in BENCH_2026-07-30_hrelation.json). The tracing layer
 # rides the same gate: span recording, the tracer's pooled Start/Finish
 # cycle, plan-time Observe on an existing key, and a traced plan-cache hit
-# must all stay at 0 allocs/op.
+# must all stay at 0 allocs/op. The binary wire codec holds the same bar:
+# a pooled slot-frame encode+decode cycle and a Reframer relay step are
+# 0 allocs/op in steady state (the measured codec delta is recorded in
+# BENCH_2026-08-08_wirebin.json).
 alloc-guard:
 	go test -run 'TestFactorizerAllocBudget|TestStreamAllocBudget|TestMatcherSteadyStateAllocFree|TestSplitterSteadyStateAllocFree' \
 		-count=1 ./internal/edgecolor ./internal/matching ./internal/graph
 	go test -run 'TestSpanAllocBudget|TestPlanTimesObserveAllocBudget' -count=1 ./internal/obs
+	go test -run 'TestWireEncodeAllocBudget|TestReframerAllocBudget' -count=1 ./internal/wirebin
 	go test -run 'TestRouteStreamAllocBudget|TestHRelationPooledAllocBudget|TestCachedHitSpanAllocBudget' -count=1 .

@@ -10,10 +10,13 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"pops/internal/backoff"
 	"pops/internal/wire"
+	"pops/internal/wirebin"
 )
 
 // The JSON wire schema of the popsserved routing service, shared with
@@ -47,6 +50,13 @@ type ServiceClient struct {
 	base  string
 	hc    *http.Client
 	retry RetryPolicy
+	codec ServiceCodec
+
+	// binDown is the sticky binary-codec downgrade: set when a CodecAuto
+	// request came back 406, so every later request skips the binary Accept
+	// instead of renegotiating per call. It is shared (by pointer) across
+	// WithRetry/WithCodec copies, so one downgrade covers the whole client.
+	binDown *atomic.Bool
 
 	// sleep and jitter are the retry pacing hooks, injectable so tests can
 	// pin the backoff schedule; nil selects the real clock and the shared
@@ -55,6 +65,24 @@ type ServiceClient struct {
 	jitter func(time.Duration) time.Duration
 }
 
+// ServiceCodec selects the response codec a ServiceClient negotiates for
+// /route and /route/stream. See WithCodec.
+type ServiceCodec int
+
+const (
+	// CodecAuto (the default) asks for the binary framing with a JSON/NDJSON
+	// fallback in the same Accept header, decodes whichever codec the server
+	// chose, and downgrades the client permanently on a 406 — old servers
+	// and new servers are both spoken to transparently.
+	CodecAuto ServiceCodec = iota
+	// CodecJSON never asks for binary: requests are byte-identical to the
+	// pre-binary client, the debugging escape hatch.
+	CodecJSON
+	// CodecBinary requires the binary framing: a server answering in any
+	// other codec is an error. Use it to pin the wire format in tests.
+	CodecBinary
+)
+
 // NewServiceClient returns a client for the service at baseURL (e.g.
 // "http://127.0.0.1:8714"). A nil hc selects http.DefaultClient. The client
 // does not retry by default; see WithRetry.
@@ -62,8 +90,36 @@ func NewServiceClient(baseURL string, hc *http.Client) *ServiceClient {
 	if hc == nil {
 		hc = http.DefaultClient
 	}
-	return &ServiceClient{base: strings.TrimRight(baseURL, "/"), hc: hc}
+	return &ServiceClient{base: strings.TrimRight(baseURL, "/"), hc: hc, binDown: new(atomic.Bool)}
 }
+
+// WithCodec returns a copy of the client pinned to codec. The copy shares
+// the original's sticky downgrade state, so a fleet of derived clients
+// renegotiates at most once.
+func (c *ServiceClient) WithCodec(codec ServiceCodec) *ServiceClient {
+	cp := *c
+	cp.codec = codec
+	return &cp
+}
+
+// acceptHeader renders the Accept header for one call ("" sends none —
+// the legacy request shape). Streams name NDJSON as the fallback, unary
+// calls JSON.
+func (c *ServiceClient) acceptHeader(stream bool) string {
+	switch {
+	case c.codec == CodecJSON, c.codec == CodecAuto && c.binDown.Load():
+		return ""
+	case c.codec == CodecBinary:
+		return wirebin.ContentType
+	case stream:
+		return wirebin.ContentType + ", application/x-ndjson;q=0.9"
+	default:
+		return wirebin.ContentType + ", application/json;q=0.9"
+	}
+}
+
+// errNotAcceptable marks a 406 verdict so the auto codec can downgrade.
+var errNotAcceptable = errors.New("server rejected the requested codec")
 
 // RetryPolicy tunes the client's reaction to overload verdicts (HTTP 429,
 // or 503 carrying Retry-After): how many times to retry and how to pace.
@@ -204,15 +260,86 @@ func RequestIDFromContext(ctx context.Context) string {
 // the general form behind Route and RouteBatch: callers use it to select a
 // strategy or ask for full schedules (IncludeSchedule).
 func (c *ServiceClient) Do(ctx context.Context, req *ServiceRouteRequest) (*ServiceRouteResponse, error) {
-	body, err := json.Marshal(req)
+	pb, err := marshalBody(req)
 	if err != nil {
-		return nil, fmt.Errorf("pops: encoding route request: %w", err)
+		return nil, err
 	}
+	defer pb.release()
 	var resp ServiceRouteResponse
-	if err := c.post(ctx, "/route", body, &resp); err != nil {
+	if err := c.post(ctx, "/route", pb, &resp); err != nil {
 		return nil, err
 	}
 	return &resp, nil
+}
+
+// bodyPool recycles request marshal buffers: the hot client path re-sends
+// structurally similar bodies, so the encode buffer is reused instead of
+// reallocated per call.
+var bodyPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// pooledBody is one marshaled request body on loan from bodyPool. net/http's
+// Transport closes a request body on its own schedule — possibly after
+// RoundTrip has returned — so the buffer goes back to the pool only when the
+// caller AND every per-attempt reader have released it; anything simpler is
+// a use-after-recycle race under retries.
+type pooledBody struct {
+	buf  *bytes.Buffer
+	refs atomic.Int32
+}
+
+// marshalBody encodes v into a pooled buffer. The caller holds one reference
+// and must call release exactly once.
+func marshalBody(v any) (*pooledBody, error) {
+	buf := bodyPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	if err := json.NewEncoder(buf).Encode(v); err != nil {
+		bodyPool.Put(buf)
+		return nil, fmt.Errorf("pops: encoding route request: %w", err)
+	}
+	pb := &pooledBody{buf: buf}
+	pb.refs.Store(1)
+	return pb, nil
+}
+
+func (p *pooledBody) len() int { return p.buf.Len() }
+
+// attach mounts a fresh attempt body on req: a reader over the pooled bytes
+// whose Close releases one reference, plus the ContentLength and GetBody
+// the transport needs to avoid chunked uploads and to replay redirects.
+func (p *pooledBody) attach(req *http.Request) {
+	newReader := func() io.ReadCloser {
+		p.refs.Add(1)
+		r := &pooledBodyReader{pb: p}
+		r.r.Reset(p.buf.Bytes())
+		return r
+	}
+	req.Body = newReader()
+	req.ContentLength = int64(p.buf.Len())
+	req.GetBody = func() (io.ReadCloser, error) { return newReader(), nil }
+}
+
+func (p *pooledBody) release() {
+	if p.refs.Add(-1) == 0 {
+		buf := p.buf
+		p.buf = nil
+		bodyPool.Put(buf)
+	}
+}
+
+type pooledBodyReader struct {
+	pb     *pooledBody
+	r      bytes.Reader
+	closed bool
+}
+
+func (r *pooledBodyReader) Read(p []byte) (int, error) { return r.r.Read(p) }
+
+func (r *pooledBodyReader) Close() error {
+	if !r.closed {
+		r.closed = true
+		r.pb.release()
+	}
+	return nil
 }
 
 // Route plans one permutation on POPS(d, g) with the default (Theorem 2)
@@ -320,7 +447,10 @@ func (c *ServiceClient) RouteBatch(ctx context.Context, d, g int, pis [][]int) (
 // server to stop planning.
 type ServiceStream struct {
 	body io.ReadCloser
+	// dec decodes NDJSON streams; bdec binary-framed ones. Exactly one is
+	// set, decided by the response's Content-Type.
 	dec  *json.Decoder
+	bdec *wirebin.Decoder
 	meta ServiceStreamMeta
 	done *ServiceStreamDone
 	err  error
@@ -350,28 +480,37 @@ func (c *ServiceClient) ExecuteStream(ctx context.Context, d, g int, w Workload)
 // decodes the stream's opening meta record. Callers use it to select a
 // non-default strategy (whose plans are streamed as whole slots).
 func (c *ServiceClient) DoStream(ctx context.Context, req *ServiceRouteRequest) (*ServiceStream, error) {
-	body, err := json.Marshal(req)
+	pb, err := marshalBody(req)
 	if err != nil {
-		return nil, fmt.Errorf("pops: encoding route request: %w", err)
+		return nil, err
 	}
+	defer pb.release()
 	// A stream shed at admission (429 before the meta record) has delivered
 	// nothing, so retrying it is as safe as retrying /route. Once the stream
 	// is open it is never retried — the caller may have consumed slots.
 	var st *ServiceStream
 	err = c.withRetry(ctx, func() error {
 		var openErr error
-		st, openErr = c.openStream(ctx, body)
+		st, openErr = c.openStream(ctx, pb, c.acceptHeader(true))
+		if errors.Is(openErr, errNotAcceptable) && c.codec == CodecAuto {
+			c.binDown.Store(true)
+			st, openErr = c.openStream(ctx, pb, "")
+		}
 		return openErr
 	})
 	return st, err
 }
 
-func (c *ServiceClient) openStream(ctx context.Context, body []byte) (*ServiceStream, error) {
-	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/route/stream", bytes.NewReader(body))
+func (c *ServiceClient) openStream(ctx context.Context, pb *pooledBody, accept string) (*ServiceStream, error) {
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/route/stream", nil)
 	if err != nil {
 		return nil, err
 	}
+	pb.attach(httpReq)
 	httpReq.Header.Set("Content-Type", "application/json")
+	if accept != "" {
+		httpReq.Header.Set("Accept", accept)
+	}
 	c.setCallHeaders(ctx, httpReq)
 	resp, err := c.hc.Do(httpReq)
 	if err != nil {
@@ -379,10 +518,21 @@ func (c *ServiceClient) openStream(ctx context.Context, body []byte) (*ServiceSt
 	}
 	if resp.StatusCode != http.StatusOK {
 		defer drainClose(resp.Body)
+		if resp.StatusCode == http.StatusNotAcceptable {
+			return nil, fmt.Errorf("pops: service /route/stream: %w", errNotAcceptable)
+		}
 		if oe := OverloadFromResponse(resp); oe != nil {
 			return nil, fmt.Errorf("pops: service /route/stream: %w", oe)
 		}
 		return nil, fmt.Errorf("pops: service /route/stream: %s", readError(resp))
+	}
+	if wirebin.IsContentType(resp.Header.Get("Content-Type")) {
+		return openBinaryStream(resp)
+	}
+	if accept == wirebin.ContentType {
+		drainClose(resp.Body)
+		return nil, fmt.Errorf("pops: service /route/stream answered %q, want %s",
+			resp.Header.Get("Content-Type"), wirebin.ContentType)
 	}
 	st := &ServiceStream{body: resp.Body, dec: json.NewDecoder(resp.Body)}
 	var rec wire.StreamRecord
@@ -401,6 +551,38 @@ func (c *ServiceClient) openStream(ctx context.Context, body []byte) (*ServiceSt
 	return st, nil
 }
 
+// openBinaryStream reads the opening meta frame of a binary-framed stream.
+func openBinaryStream(resp *http.Response) (*ServiceStream, error) {
+	st := &ServiceStream{body: resp.Body, bdec: wirebin.GetDecoder(resp.Body)}
+	typ, payload, err := st.bdec.ReadFrame()
+	if err != nil {
+		st.releaseDecoder()
+		drainClose(resp.Body)
+		return nil, fmt.Errorf("pops: decoding stream meta: %w", err)
+	}
+	switch typ {
+	case wirebin.FrameMeta:
+		if err := wirebin.DecodeMeta(payload, &st.meta); err != nil {
+			st.releaseDecoder()
+			drainClose(resp.Body)
+			return nil, fmt.Errorf("pops: decoding stream meta: %w", err)
+		}
+		return st, nil
+	case wirebin.FrameError:
+		msg, err := wirebin.DecodeError(payload)
+		st.releaseDecoder()
+		drainClose(resp.Body)
+		if err != nil {
+			return nil, fmt.Errorf("pops: decoding stream error record: %w", err)
+		}
+		return nil, fmt.Errorf("pops: service: %s", msg)
+	default:
+		st.releaseDecoder()
+		drainClose(resp.Body)
+		return nil, fmt.Errorf("pops: stream opened with frame type %d, want meta", typ)
+	}
+}
+
 // Meta returns the stream's opening record.
 func (s *ServiceStream) Meta() ServiceStreamMeta { return s.meta }
 
@@ -410,6 +592,9 @@ func (s *ServiceStream) Meta() ServiceStreamMeta { return s.meta }
 func (s *ServiceStream) Next() (*ServiceStreamSlot, error) {
 	if s.err != nil || s.done != nil {
 		return nil, s.err
+	}
+	if s.bdec != nil {
+		return s.nextBinary()
 	}
 	var rec wire.StreamRecord
 	if err := s.dec.Decode(&rec); err != nil {
@@ -435,6 +620,59 @@ func (s *ServiceStream) Next() (*ServiceStreamSlot, error) {
 	}
 }
 
+// nextBinary is Next over a binary-framed stream. A truncated or corrupt
+// frame — a backend dying mid-stream, a relay forwarding garbage — is a
+// typed error, never a silently short plan: the done frame is the only
+// successful ending.
+func (s *ServiceStream) nextBinary() (*ServiceStreamSlot, error) {
+	typ, payload, err := s.bdec.ReadFrame()
+	if err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF // EOF before the done frame is truncation
+		}
+		s.err = fmt.Errorf("pops: decoding stream record: %w", err)
+		return nil, s.err
+	}
+	switch typ {
+	case wirebin.FrameSlot:
+		// Decoded into a fresh record: callers accumulate fragments across
+		// Next calls, so the slices must not alias the decoder's buffer.
+		var slot ServiceStreamSlot
+		if err := wirebin.DecodeSlot(payload, &slot); err != nil {
+			s.err = fmt.Errorf("pops: decoding stream record: %w", err)
+			return nil, s.err
+		}
+		return &slot, nil
+	case wirebin.FrameDone:
+		var done ServiceStreamDone
+		if err := wirebin.DecodeDone(payload, &done); err != nil {
+			s.err = fmt.Errorf("pops: decoding stream record: %w", err)
+			return nil, s.err
+		}
+		s.done = &done
+		return nil, nil
+	case wirebin.FrameError:
+		msg, err := wirebin.DecodeError(payload)
+		if err != nil {
+			s.err = fmt.Errorf("pops: decoding stream error record: %w", err)
+			return nil, s.err
+		}
+		s.err = fmt.Errorf("pops: service: %s", msg)
+		return nil, s.err
+	default:
+		s.err = fmt.Errorf("pops: unexpected stream frame type %d", typ)
+		return nil, s.err
+	}
+}
+
+// releaseDecoder returns the binary decoder to its pool (idempotent).
+func (s *ServiceStream) releaseDecoder() {
+	if s.bdec != nil {
+		wirebin.PutDecoder(s.bdec)
+		s.bdec = nil
+	}
+}
+
 // Done returns the stream's closing record once Next has returned (nil, nil).
 func (s *ServiceStream) Done() *ServiceStreamDone { return s.done }
 
@@ -445,6 +683,7 @@ func (s *ServiceStream) Done() *ServiceStreamDone { return s.done }
 // keep-alive connection returns to the transport's pool instead of being
 // torn down.
 func (s *ServiceStream) Close() error {
+	s.releaseDecoder()
 	if s.done != nil {
 		_, _ = io.Copy(io.Discard, io.LimitReader(s.body, 4096))
 	}
@@ -488,17 +727,31 @@ func (c *ServiceClient) Healthz(ctx context.Context) error {
 	return nil
 }
 
-func (c *ServiceClient) post(ctx context.Context, path string, body []byte, out any) error {
-	// The request is rebuilt per attempt — bytes.Reader cannot be rewound
+func (c *ServiceClient) post(ctx context.Context, path string, pb *pooledBody, out any) error {
+	// The request is rebuilt per attempt — a body reader cannot be rewound
 	// once the transport has consumed it.
 	return c.withRetry(ctx, func() error {
-		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
-		if err != nil {
-			return err
+		attempt := func(accept string) error {
+			req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, nil)
+			if err != nil {
+				return err
+			}
+			pb.attach(req)
+			req.Header.Set("Content-Type", "application/json")
+			if accept != "" {
+				req.Header.Set("Accept", accept)
+			}
+			c.setCallHeaders(ctx, req)
+			return c.roundTrip(req, out)
 		}
-		req.Header.Set("Content-Type", "application/json")
-		c.setCallHeaders(ctx, req)
-		return c.roundTrip(req, out)
+		err := attempt(c.acceptHeader(false))
+		if errors.Is(err, errNotAcceptable) && c.codec == CodecAuto {
+			// The server refused the binary offer outright: downgrade this
+			// client permanently and replay the attempt as plain JSON.
+			c.binDown.Store(true)
+			return attempt("")
+		}
+		return err
 	})
 }
 
@@ -536,11 +789,39 @@ func (c *ServiceClient) roundTrip(req *http.Request, out any) error {
 	// paths — non-2xx answers, truncated JSON — would otherwise leak pooled
 	// connections exactly when a failover layer is retrying hardest.
 	defer drainClose(resp.Body)
+	if resp.StatusCode == http.StatusNotAcceptable {
+		return fmt.Errorf("pops: service %s: %w", req.URL.Path, errNotAcceptable)
+	}
 	if resp.StatusCode != http.StatusOK {
 		if oe := OverloadFromResponse(resp); oe != nil {
 			return fmt.Errorf("pops: service %s: %w", req.URL.Path, oe)
 		}
 		return fmt.Errorf("pops: service %s: %s", req.URL.Path, readError(resp))
+	}
+	if wirebin.IsContentType(resp.Header.Get("Content-Type")) {
+		rr, ok := out.(*ServiceRouteResponse)
+		if !ok {
+			return fmt.Errorf("pops: service %s answered %s unexpectedly", req.URL.Path, wirebin.ContentType)
+		}
+		dec := wirebin.GetDecoder(resp.Body)
+		defer wirebin.PutDecoder(dec)
+		typ, payload, err := dec.ReadFrame()
+		if err == nil && typ != wirebin.FrameResponse {
+			err = fmt.Errorf("frame type %d, want response", typ)
+		}
+		if err == nil {
+			err = wirebin.DecodeResponse(payload, rr)
+		}
+		if err != nil {
+			return fmt.Errorf("pops: decoding service %s response: %w", req.URL.Path, err)
+		}
+		return nil
+	}
+	if req.Header.Get("Accept") == wirebin.ContentType {
+		// CodecBinary pins the wire format; a JSON answer means the server
+		// ignored the only acceptable codec.
+		return fmt.Errorf("pops: service %s answered %q, want %s",
+			req.URL.Path, resp.Header.Get("Content-Type"), wirebin.ContentType)
 	}
 	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
 		return fmt.Errorf("pops: decoding service %s response: %w", req.URL.Path, err)

@@ -206,6 +206,69 @@ func TestClusterSmokeStream(t *testing.T) {
 	}
 }
 
+// TestClusterSmokeStreamBinary streams through the proxy with the codec
+// pinned to binary: CodecBinary fails unless the answer arrives with the
+// application/x-pops-bin Content-Type, so a passing run proves the proxy
+// relayed the backend's binary framing (Content-Type included) end to end,
+// re-framed chunk by chunk, and that the replay still hits the owning
+// node's plan cache.
+func TestClusterSmokeStreamBinary(t *testing.T) {
+	_, urls := startBackends(t, 3)
+	addr, cancel, done := startProxy(t, "-backends", strings.Join(urls, ","))
+	client := pops.NewServiceClient("http://"+addr.String(), nil).WithCodec(pops.CodecBinary)
+	ctx := context.Background()
+
+	const d, g = 4, 8
+	pi := pops.VectorReversal(d * g)
+	for attempt := 1; attempt <= 2; attempt++ {
+		st, err := client.RouteStream(ctx, d, g, pi)
+		if err != nil {
+			t.Fatalf("attempt %d: %v", attempt, err)
+		}
+		got := 0
+		for {
+			rec, err := st.Next()
+			if err != nil {
+				t.Fatalf("attempt %d: %v", attempt, err)
+			}
+			if rec == nil {
+				break
+			}
+			got++
+		}
+		if got != st.Meta().Fragments {
+			t.Fatalf("attempt %d: %d fragments, meta promised %d", attempt, got, st.Meta().Fragments)
+		}
+		if st.Done() == nil {
+			t.Fatalf("attempt %d: stream ended without a done frame", attempt)
+		}
+		if attempt == 2 && !st.Meta().Cached {
+			t.Fatal("binary streamed replay was not a cache hit on the owning node")
+		}
+		st.Close()
+	}
+
+	// The unary path holds the same pin: a binary-only client must round-trip
+	// /route through the proxy.
+	plan, err := client.Route(ctx, d, g, pi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Slots != pops.OptimalSlots(d, g) {
+		t.Fatalf("slots = %d, want %d", plan.Slots, pops.OptimalSlots(d, g))
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("proxy did not drain within 15s")
+	}
+}
+
 // TestRunRequiresBackends pins the required-flag validation to an error.
 func TestRunRequiresBackends(t *testing.T) {
 	if err := run(context.Background(), nil, testWriter{t}, nil); err == nil {

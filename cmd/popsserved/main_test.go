@@ -2,6 +2,7 @@ package main
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -16,6 +17,7 @@ import (
 	"pops"
 	"pops/internal/popsnet"
 	"pops/internal/wire"
+	"pops/internal/wirebin"
 )
 
 // TestServeSmoke is the end-to-end smoke `make serve-smoke` runs: start
@@ -208,6 +210,137 @@ func TestServeSmokeStream(t *testing.T) {
 	var doneRec wire.StreamRecord
 	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &doneRec); err != nil || doneRec.Type != "done" {
 		t.Fatalf("last record %q (err %v)", lines[len(lines)-1], err)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("server did not drain within 15s")
+	}
+}
+
+// TestServeSmokeStreamBinary repeats the raw-TCP streaming smoke with the
+// binary framing negotiated via Accept: the response must carry the
+// application/x-pops-bin Content-Type, still arrive as >= 2 separate HTTP
+// chunks (the pipelining property is codec-independent), and the
+// concatenated chunk payload must decode as meta + slot frames + done.
+func TestServeSmokeStreamBinary(t *testing.T) {
+	addr, cancel, done := startServer(t)
+
+	const d, g = 4, 8
+	pi := pops.VectorReversal(d * g)
+	body, err := json.Marshal(wire.RouteRequest{D: d, G: g, Pi: pi})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.DialTimeout("tcp", addr.String(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(30 * time.Second))
+	fmt.Fprintf(conn, "POST /route/stream HTTP/1.1\r\nHost: popsserved\r\nContent-Type: application/json\r\nAccept: %s\r\nContent-Length: %d\r\n\r\n%s", wirebin.ContentType, len(body), body)
+
+	br := bufio.NewReader(conn)
+	status, err := br.ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(status, "200") {
+		t.Fatalf("status line %q", strings.TrimSpace(status))
+	}
+	chunked, binaryCT := false, false
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			t.Fatal(err)
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			break
+		}
+		if strings.EqualFold(line, "Transfer-Encoding: chunked") {
+			chunked = true
+		}
+		if strings.EqualFold(line, "Content-Type: "+wirebin.ContentType) {
+			binaryCT = true
+		}
+	}
+	if !chunked {
+		t.Fatal("response is not chunked")
+	}
+	if !binaryCT {
+		t.Fatalf("response did not negotiate Content-Type %s", wirebin.ContentType)
+	}
+
+	// Parse the chunked framing by hand, counting the chunks.
+	var payload []byte
+	chunks := 0
+	for {
+		sizeLine, err := br.ReadString('\n')
+		if err != nil {
+			t.Fatal(err)
+		}
+		size, err := strconv.ParseUint(strings.TrimSpace(sizeLine), 16, 32)
+		if err != nil {
+			t.Fatalf("chunk size line %q: %v", strings.TrimSpace(sizeLine), err)
+		}
+		if size == 0 {
+			break
+		}
+		chunks++
+		buf := make([]byte, size+2) // chunk data + trailing CRLF
+		if _, err := io.ReadFull(br, buf); err != nil {
+			t.Fatal(err)
+		}
+		payload = append(payload, buf[:size]...)
+	}
+	if chunks < 2 {
+		t.Fatalf("stream arrived in %d chunk(s); want >= 2 (one per flushed frame)", chunks)
+	}
+
+	// The concatenated frames must be meta, slot frames, done.
+	dec := wirebin.NewDecoder(bytes.NewReader(payload))
+	var meta wire.StreamMeta
+	slotFrames, sawDone := 0, false
+	first := true
+	for {
+		typ, framePayload, err := dec.ReadFrame()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("ReadFrame: %v", err)
+		}
+		if first && typ != wirebin.FrameMeta {
+			t.Fatalf("first frame type %d, want meta", typ)
+		}
+		first = false
+		switch typ {
+		case wirebin.FrameMeta:
+			if err := wirebin.DecodeMeta(framePayload, &meta); err != nil {
+				t.Fatal(err)
+			}
+		case wirebin.FrameSlot:
+			slotFrames++
+		case wirebin.FrameDone:
+			sawDone = true
+		default:
+			t.Fatalf("unexpected frame type %d", typ)
+		}
+	}
+	if meta.Slots != pops.OptimalSlots(d, g) {
+		t.Fatalf("meta.slots = %d, want %d", meta.Slots, pops.OptimalSlots(d, g))
+	}
+	if slotFrames != meta.Fragments {
+		t.Fatalf("%d slot frames, meta promised %d", slotFrames, meta.Fragments)
+	}
+	if !sawDone {
+		t.Fatal("stream ended without a done frame")
 	}
 
 	cancel()

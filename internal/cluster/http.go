@@ -15,6 +15,7 @@ import (
 	"pops"
 	"pops/internal/obs"
 	"pops/internal/wire"
+	"pops/internal/wirebin"
 )
 
 // maxRequestBody mirrors the backend bound (internal/service): the largest
@@ -135,9 +136,17 @@ func (p *Proxy) forward(ctx context.Context, key uint64, path string, body []byt
 		if err != nil {
 			return nil, err
 		}
-		req.Header.Set("Content-Type", "application/json")
+		// The backend hop carries the caller's codec negotiation unchanged:
+		// its request Content-Type (binary-framed bodies pass through) and
+		// its Accept (the backend picks the response codec, the proxy just
+		// relays whatever framing comes back).
+		ct := hdr.Get("Content-Type")
+		if ct == "" {
+			ct = "application/json"
+		}
+		req.Header.Set("Content-Type", ct)
 		req.Header.Set("X-Request-Id", id)
-		for _, h := range []string{wire.HeaderDeadline, wire.HeaderTenant} {
+		for _, h := range []string{wire.HeaderDeadline, wire.HeaderTenant, "Accept"} {
 			if v := hdr.Get(h); v != "" {
 				req.Header.Set(h, v)
 			}
@@ -197,6 +206,26 @@ func writeOverload(w http.ResponseWriter, oe *pops.OverloadError) {
 	http.Error(w, oe.Error(), http.StatusTooManyRequests)
 }
 
+// decodeProxyRequest reads a route request body in whichever codec the
+// caller framed it — a binary FrameRequest when the Content-Type says so,
+// JSON otherwise — so placement sees the same fields either way. The raw
+// body bytes are forwarded to the backend unchanged regardless of codec.
+func decodeProxyRequest(contentType string, body []byte, req *wire.RouteRequest) error {
+	if !wirebin.IsContentType(contentType) {
+		return json.Unmarshal(body, req)
+	}
+	dec := wirebin.GetDecoder(bytes.NewReader(body))
+	defer wirebin.PutDecoder(dec)
+	typ, payload, err := dec.ReadFrame()
+	if err != nil {
+		return err
+	}
+	if typ != wirebin.FrameRequest {
+		return fmt.Errorf("frame type %d, want request", typ)
+	}
+	return wirebin.DecodeRequest(payload, req)
+}
+
 func (p *Proxy) handleRoute(w http.ResponseWriter, r *http.Request) {
 	if !p.enter() {
 		http.Error(w, ErrClosed.Error(), http.StatusServiceUnavailable)
@@ -209,7 +238,7 @@ func (p *Proxy) handleRoute(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req wire.RouteRequest
-	if err := json.Unmarshal(body, &req); err != nil {
+	if err := decodeProxyRequest(r.Header.Get("Content-Type"), body, &req); err != nil {
 		http.Error(w, "cluster: decoding request: "+err.Error(), http.StatusBadRequest)
 		return
 	}
@@ -264,7 +293,7 @@ func (p *Proxy) handleRouteStream(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req wire.RouteRequest
-	if err := json.Unmarshal(body, &req); err != nil {
+	if err := decodeProxyRequest(r.Header.Get("Content-Type"), body, &req); err != nil {
 		http.Error(w, "cluster: decoding request: "+err.Error(), http.StatusBadRequest)
 		return
 	}
@@ -295,6 +324,10 @@ func (p *Proxy) handleRouteStream(w http.ResponseWriter, r *http.Request) {
 	}
 
 	flusher, _ := w.(http.Flusher)
+	if wirebin.IsContentType(resp.Header.Get("Content-Type")) {
+		p.relayBinaryStream(ctx, w, flusher, resp.Body, sp)
+		return
+	}
 	br := bufio.NewReader(resp.Body)
 	for {
 		line, err := br.ReadBytes('\n')
@@ -323,6 +356,43 @@ func (p *Proxy) handleRouteStream(w http.ResponseWriter, r *http.Request) {
 				flusher.Flush()
 			}
 			return
+		}
+	}
+}
+
+// relayBinaryStream re-frames a backend's binary slot stream one whole frame
+// at a time: the Reframer reassembles frames that span HTTP chunk boundaries
+// (the backend's flush points and the proxy transport's reads need not
+// agree), and each reassembled frame is written and flushed as its own
+// chunk without decoding its fields. A backend failure mid-stream becomes an
+// in-band binary error frame, mirroring the NDJSON error record.
+func (p *Proxy) relayBinaryStream(ctx context.Context, w http.ResponseWriter, flusher http.Flusher, body io.Reader, sp *obs.Span) {
+	rf := wirebin.NewReframer(body)
+	for {
+		frame, err := rf.Next()
+		if err == io.EOF {
+			return
+		}
+		if err != nil {
+			if ctx.Err() != nil {
+				return
+			}
+			enc := wirebin.GetEncoder()
+			errFrame := enc.AppendError(fmt.Sprintf("cluster: backend stream: %v", err))
+			if _, werr := w.Write(errFrame); werr == nil && flusher != nil {
+				flusher.Flush()
+			}
+			wirebin.PutEncoder(enc)
+			return
+		}
+		sp.Begin(obs.PhaseEncode)
+		_, werr := w.Write(frame)
+		if flusher != nil {
+			flusher.Flush()
+		}
+		sp.End()
+		if werr != nil {
+			return // the caller went away; the deferred Close hangs up upstream
 		}
 	}
 }

@@ -55,6 +55,7 @@ func (p *Proxy) Stats(ctx context.Context) (*wire.StatsResponse, error) {
 		agg.Sheds += s.Sheds
 		agg.DeadlineSheds += s.DeadlineSheds
 		agg.Tenants = mergeTenants(agg.Tenants, s.Tenants)
+		agg.WireCodecs = mergeWireCodecs(agg.WireCodecs, s.WireCodecs)
 		agg.Latency = mergeBuckets(agg.Latency, s.Latency)
 		agg.TimeToFirstSlot = mergeBuckets(agg.TimeToFirstSlot, s.TimeToFirstSlot)
 		agg.PlanTimes = mergePlanTimes(agg.PlanTimes, s.PlanTimes)
@@ -62,7 +63,30 @@ func (p *Proxy) Stats(ctx context.Context) (*wire.StatsResponse, error) {
 	}
 	sortPlanTimes(agg.PlanTimes)
 	sort.Slice(agg.Tenants, func(a, b int) bool { return agg.Tenants[a].Tenant < agg.Tenants[b].Tenant })
+	sort.Slice(agg.WireCodecs, func(a, b int) bool { return agg.WireCodecs[a].Codec < agg.WireCodecs[b].Codec })
 	return agg, nil
+}
+
+// mergeWireCodecs folds one node's per-codec wire ledger into the fleet
+// aggregate, keyed by codec name.
+func mergeWireCodecs(dst, src []wire.WireCodecStats) []wire.WireCodecStats {
+	for _, s := range src {
+		merged := false
+		for i := range dst {
+			if dst[i].Codec != s.Codec {
+				continue
+			}
+			dst[i].Requests += s.Requests
+			dst[i].Streams += s.Streams
+			dst[i].StreamedBytes += s.StreamedBytes
+			merged = true
+			break
+		}
+		if !merged {
+			dst = append(dst, s)
+		}
+	}
+	return dst
 }
 
 // mergeTenants folds one node's per-tenant fairness ledger into the fleet

@@ -169,6 +169,65 @@ func BenchmarkServiceStream(b *testing.B) {
 	})
 }
 
+// BenchmarkServiceStreamCodec compares the stream codecs head to head on the
+// full wire path with a warm plan cache, so (de)serialization — not planning
+// — dominates: the same cached plan is drained over NDJSON and over the
+// binary framing across the shape grid. ns/slot is the headline metric (the
+// per-fragment cost a consumer pays); the acceptance bar is binary at no more
+// than half the NDJSON ns/slot on d=16/g=64.
+func BenchmarkServiceStreamCodec(b *testing.B) {
+	ctx := context.Background()
+	for _, d := range []int{8, 16, 32} {
+		for _, g := range []int{8, 64} {
+			for _, codec := range []struct {
+				name string
+				c    pops.ServiceCodec
+			}{{"ndjson", pops.CodecJSON}, {"binary", pops.CodecBinary}} {
+				b.Run(fmt.Sprintf("d=%d/g=%d/%s", d, g, codec.name), func(b *testing.B) {
+					pi := pops.VectorReversal(d * g)
+					svc := New(Config{BatchDelay: 50 * time.Microsecond})
+					srv := httptest.NewServer(svc.Handler())
+					defer func() {
+						srv.CloseClientConnections()
+						svc.Close()
+						srv.Close()
+					}()
+					client := pops.NewServiceClient(srv.URL, srv.Client()).WithCodec(codec.c)
+					if _, err := client.Route(ctx, d, g, pi); err != nil { // warm the plan cache
+						b.Fatal(err)
+					}
+					slots := 0
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						st, err := client.RouteStream(ctx, d, g, pi)
+						if err != nil {
+							b.Fatal(err)
+						}
+						n := 0
+						for {
+							rec, err := st.Next()
+							if err != nil {
+								b.Fatal(err)
+							}
+							if rec == nil {
+								break
+							}
+							n++
+						}
+						st.Close()
+						slots += n
+					}
+					b.StopTimer()
+					if slots > 0 {
+						b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(slots), "ns/slot")
+					}
+				})
+			}
+		}
+	}
+}
+
 // BenchmarkServiceInProcess isolates the serving layers without HTTP: the
 // admission queue + planner path as popsserved's handler sees it.
 func BenchmarkServiceInProcess(b *testing.B) {

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"runtime"
 	"strconv"
@@ -13,6 +14,7 @@ import (
 	"pops"
 	"pops/internal/obs"
 	"pops/internal/wire"
+	"pops/internal/wirebin"
 )
 
 // maxRequestBody bounds /route bodies: the largest sensible request is a
@@ -65,6 +67,55 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	_ = enc.Encode(v) // the connection is the only failure mode left here
+}
+
+// decodeRouteRequest reads a /route or /route/stream body in whichever
+// request codec the caller sent: a binary FrameRequest when Content-Type is
+// application/x-pops-bin, JSON otherwise. It writes the 400 itself on
+// malformed input.
+func decodeRouteRequest(w http.ResponseWriter, r *http.Request, req *wire.RouteRequest) bool {
+	body := http.MaxBytesReader(w, r.Body, maxRequestBody)
+	if wirebin.IsContentType(r.Header.Get("Content-Type")) {
+		dec := wirebin.GetDecoder(body)
+		defer wirebin.PutDecoder(dec)
+		typ, payload, err := dec.ReadFrame()
+		if err == nil && typ != wirebin.FrameRequest {
+			err = fmt.Errorf("frame type %d, want request", typ)
+		}
+		if err == nil {
+			err = wirebin.DecodeRequest(payload, req)
+		}
+		if err != nil {
+			http.Error(w, "service: decoding request: "+err.Error(), http.StatusBadRequest)
+			return false
+		}
+		return true
+	}
+	if err := json.NewDecoder(body).Decode(req); err != nil {
+		http.Error(w, "service: decoding request: "+err.Error(), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+// respondRoute writes a /route response in the negotiated codec: binary when
+// the caller's Accept names application/x-pops-bin, JSON otherwise (unknown
+// and empty Accept values change nothing). It also feeds the per-codec
+// request ledger.
+func (s *Service) respondRoute(w http.ResponseWriter, r *http.Request, resp *wire.RouteResponse) {
+	if !wirebin.Accepts(r.Header.Get("Accept")) {
+		s.codecJSON.requests.Add(1)
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	s.codecBinary.requests.Add(1)
+	enc := wirebin.GetEncoder()
+	defer wirebin.PutEncoder(enc)
+	frame := enc.AppendResponse(resp)
+	w.Header().Set("Content-Type", wirebin.ContentType)
+	w.Header().Set("Content-Length", strconv.Itoa(len(frame)))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(frame)
 }
 
 // requestStatus maps a request-level error to its HTTP status.
@@ -198,9 +249,7 @@ func workloadFromRequest(req *wire.RouteRequest) (pops.Workload, error) {
 
 func (s *Service) handleRoute(w http.ResponseWriter, r *http.Request) {
 	var req wire.RouteRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
-	if err := dec.Decode(&req); err != nil {
-		http.Error(w, "service: decoding request: "+err.Error(), http.StatusBadRequest)
+	if !decodeRouteRequest(w, r, &req) {
 		return
 	}
 	wl, err := workloadFromRequest(&req)
@@ -235,7 +284,7 @@ func (s *Service) handleRoute(w http.ResponseWriter, r *http.Request) {
 		sp.Cached = res.Cached
 		resp.Plans = []wire.PlanResult{workloadResult(wl, res, req.IncludeSchedule)}
 		sp.Begin(obs.PhaseEncode)
-		writeJSON(w, http.StatusOK, resp)
+		s.respondRoute(w, r, &resp)
 		// The span total — not a separate clock — is the latency histogram
 		// observation, so the phase breakdown and the histogram describe the
 		// same measured interval (pinned by the service tests).
@@ -265,7 +314,7 @@ func (s *Service) handleRoute(w http.ResponseWriter, r *http.Request) {
 		sp.Cached = res.Cached
 		resp.Plans = []wire.PlanResult{planResult(req.Pi, res, req.IncludeSchedule)}
 		sp.Begin(obs.PhaseEncode)
-		writeJSON(w, http.StatusOK, resp)
+		s.respondRoute(w, r, &resp)
 		s.latency.Observe(s.tracer.Finish(sp))
 		return
 	}
@@ -281,7 +330,7 @@ func (s *Service) handleRoute(w http.ResponseWriter, r *http.Request) {
 	for i, res := range results {
 		resp.Plans[i] = planResult(req.Pis[i], res, req.IncludeSchedule)
 	}
-	writeJSON(w, http.StatusOK, resp)
+	s.respondRoute(w, r, &resp)
 }
 
 // handleSlow serves GET /debug/slow: the slowest traced requests, worst
@@ -311,9 +360,7 @@ func (s *Service) handleSlow(w http.ResponseWriter, r *http.Request) {
 // "error" record.
 func (s *Service) handleRouteStream(w http.ResponseWriter, r *http.Request) {
 	var req wire.RouteRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
-	if err := dec.Decode(&req); err != nil {
-		http.Error(w, "service: decoding request: "+err.Error(), http.StatusBadRequest)
+	if !decodeRouteRequest(w, r, &req) {
 		return
 	}
 	wl, err := workloadFromRequest(&req)
@@ -361,24 +408,60 @@ func (s *Service) handleRouteStream(w http.ResponseWriter, r *http.Request) {
 	}
 	defer st.Close()
 
-	w.Header().Set("Content-Type", "application/x-ndjson")
 	flusher, _ := w.(http.Flusher)
-	enc := json.NewEncoder(w)
-	write := func(rec wire.StreamRecord) bool {
-		sp.Begin(obs.PhaseEncode)
-		defer sp.End()
-		if err := enc.Encode(rec); err != nil {
-			return false // client went away; Close releases the worker
-		}
+	// flush pushes one encoded record (an NDJSON line or a binary frame) out
+	// as its own chunk, then hands the processor to waiting readers: without
+	// the Gosched, a CPU-bound factorization loop on a loaded (or
+	// single-core) runtime can emit the entire plan before the connection
+	// goroutine ever runs, silently turning the stream back into a batch.
+	flush := func() {
 		if flusher != nil {
 			flusher.Flush()
 		}
-		// Hand the processor to waiting readers: without this, a CPU-bound
-		// factorization loop on a loaded (or single-core) runtime can emit
-		// the entire plan before the connection goroutine ever runs,
-		// silently turning the stream back into a batch.
 		runtime.Gosched()
-		return true
+	}
+	var write func(rec wire.StreamRecord) bool
+	if wirebin.Accepts(r.Header.Get("Accept")) {
+		s.codecBinary.streams.Add(1)
+		w.Header().Set("Content-Type", wirebin.ContentType)
+		enc := wirebin.GetEncoder()
+		defer wirebin.PutEncoder(enc)
+		write = func(rec wire.StreamRecord) bool {
+			sp.Begin(obs.PhaseEncode)
+			defer sp.End()
+			var frame []byte
+			switch rec.Type {
+			case "meta":
+				frame = enc.AppendMeta(rec.Meta)
+			case "slot":
+				frame = enc.AppendSlot(rec.Slot)
+			case "done":
+				frame = enc.AppendDone(rec.Done)
+			default:
+				frame = enc.AppendError(rec.Error)
+			}
+			if _, err := w.Write(frame); err != nil {
+				return false // client went away; Close releases the worker
+			}
+			s.codecBinary.streamedBytes.Add(uint64(len(frame)))
+			flush()
+			return true
+		}
+	} else {
+		s.codecNDJSON.streams.Add(1)
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		cw := &countingWriter{w: w}
+		defer func() { s.codecNDJSON.streamedBytes.Add(cw.n) }()
+		enc := json.NewEncoder(cw)
+		write = func(rec wire.StreamRecord) bool {
+			sp.Begin(obs.PhaseEncode)
+			defer sp.End()
+			if err := enc.Encode(rec); err != nil {
+				return false // client went away; Close releases the worker
+			}
+			flush()
+			return true
+		}
 	}
 	meta := st.Meta()
 	meta.RequestID = id
@@ -404,6 +487,19 @@ func (s *Service) handleRouteStream(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	write(wire.StreamRecord{Type: "done", Done: &wire.StreamDone{Slots: meta.Slots, Fragments: meta.Fragments}})
+}
+
+// countingWriter tallies bytes written through it, so the NDJSON stream path
+// can feed the per-codec streamed-bytes ledger without an extra copy.
+type countingWriter struct {
+	w io.Writer
+	n uint64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += uint64(n)
+	return n, err
 }
 
 // planResult converts one permutation planning outcome to its wire form.

@@ -38,6 +38,19 @@ func (s *Service) collectMetrics(mw *obs.MetricWriter) {
 	mw.Counter("pops_deadline_sheds_total", "Queued requests dropped because their propagated deadline expired.")
 	mw.Value("", float64(st.DeadlineSheds))
 
+	mw.Counter("pops_wire_requests_total", "Unary /route responses by negotiated wire codec.")
+	for _, c := range st.WireCodecs {
+		mw.Value(codecLabels(c.Codec), float64(c.Requests))
+	}
+	mw.Counter("pops_wire_streams_total", "/route/stream responses by negotiated wire codec.")
+	for _, c := range st.WireCodecs {
+		mw.Value(codecLabels(c.Codec), float64(c.Streams))
+	}
+	mw.Counter("pops_wire_streamed_bytes_total", "Bytes flushed over /route/stream by negotiated wire codec.")
+	for _, c := range st.WireCodecs {
+		mw.Value(codecLabels(c.Codec), float64(c.StreamedBytes))
+	}
+
 	mw.Counter("pops_tenant_admitted_total", "Requests admitted per tenant (TenantMix fairness ledger).")
 	for _, t := range st.Tenants {
 		mw.Value(tenantLabels(t.Tenant), float64(t.Admitted))
@@ -89,6 +102,10 @@ func (s *Service) collectMetrics(mw *obs.MetricWriter) {
 	for _, pt := range st.PlanTimes {
 		mw.Value(planLabels(pt), float64(pt.CacheHits))
 	}
+}
+
+func codecLabels(codec string) string {
+	return obs.Labels("wire_codec", codec)
 }
 
 func shardLabels(d, g int) string {

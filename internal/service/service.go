@@ -173,6 +173,12 @@ type Service struct {
 	tenantMu sync.RWMutex
 	tenants  map[string]*tenantCounters
 
+	// Per-codec wire-path ledgers: which negotiated response codec answered
+	// each /route and /route/stream, and how many stream bytes it flushed.
+	codecJSON   wireCodecCounters
+	codecNDJSON wireCodecCounters
+	codecBinary wireCodecCounters
+
 	// Streaming state: /route/stream requests bypass the admission queues
 	// (each stream owns a worker planner), so graceful drain tracks them
 	// separately; ttfs is the time-to-first-slot histogram.
@@ -186,6 +192,25 @@ type Service struct {
 	// registry.
 	tracer  *obs.Tracer
 	metrics *obs.Registry
+}
+
+// wireCodecCounters is one response codec's live wire-path ledger.
+type wireCodecCounters struct {
+	requests      atomic.Uint64
+	streams       atomic.Uint64
+	streamedBytes atomic.Uint64
+}
+
+// snapshot renders the ledger as its wire form; ok is false when every
+// counter is zero (the codec was never negotiated, so /stats omits it).
+func (c *wireCodecCounters) snapshot(name string) (wire.WireCodecStats, bool) {
+	st := wire.WireCodecStats{
+		Codec:         name,
+		Requests:      c.requests.Load(),
+		Streams:       c.streams.Load(),
+		StreamedBytes: c.streamedBytes.Load(),
+	}
+	return st, st.Requests != 0 || st.Streams != 0 || st.StreamedBytes != 0
 }
 
 // tenantCounters is one tenant's live fairness ledger.
@@ -458,6 +483,15 @@ func (s *Service) Stats() wire.StatsResponse {
 		resp.Sheds += st.Sheds
 		resp.DeadlineSheds += st.DeadlineSheds
 		resp.Shards = append(resp.Shards, st)
+	}
+
+	for _, c := range []struct {
+		name    string
+		counter *wireCodecCounters
+	}{{wire.CodecJSON, &s.codecJSON}, {wire.CodecNDJSON, &s.codecNDJSON}, {wire.CodecBinary, &s.codecBinary}} {
+		if st, ok := c.counter.snapshot(c.name); ok {
+			resp.WireCodecs = append(resp.WireCodecs, st)
+		}
 	}
 
 	s.tenantMu.RLock()

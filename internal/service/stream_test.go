@@ -12,7 +12,7 @@ import (
 
 // collectServiceStream drains a client stream and reassembles the slots by
 // (Slot, Offset), returning the rebuilt schedule slots.
-func collectServiceStream(t *testing.T, st *pops.ServiceStream) []popsnet.Slot {
+func collectServiceStream(t testing.TB, st *pops.ServiceStream) []popsnet.Slot {
 	t.Helper()
 	meta := st.Meta()
 	slots := make([]popsnet.Slot, meta.Slots)

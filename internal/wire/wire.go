@@ -293,6 +293,25 @@ type TenantStats struct {
 	DeadlineShed uint64 `json:"deadline_shed,omitempty"`
 }
 
+// Codec names used in WireCodecStats.Codec and the wire_codec metric label.
+const (
+	CodecJSON   = "json"
+	CodecNDJSON = "ndjson"
+	CodecBinary = "binary"
+)
+
+// WireCodecStats is one response codec's wire-path ledger: how many unary
+// /route responses and /route/stream streams were answered in that codec,
+// and how many stream bytes were flushed. Codec names are "json" (unary
+// JSON), "ndjson" (NDJSON stream records, the default/debug surface), and
+// "binary" (the length-prefixed application/x-pops-bin framing).
+type WireCodecStats struct {
+	Codec         string `json:"codec"`
+	Requests      uint64 `json:"requests,omitempty"`
+	Streams       uint64 `json:"streams,omitempty"`
+	StreamedBytes uint64 `json:"streamed_bytes,omitempty"`
+}
+
 // LatencyBucket is one bucket of the request-latency histogram: Count
 // requests completed in at most LEMicros microseconds (and more than the
 // previous bucket's bound). The final bucket has LEMicros == 0, meaning
@@ -348,8 +367,12 @@ type StatsResponse struct {
 	Sheds         uint64 `json:"sheds,omitempty"`
 	DeadlineSheds uint64 `json:"deadline_sheds,omitempty"`
 	// Tenants is the per-tenant fairness ledger, sorted by tenant name.
-	Tenants []TenantStats   `json:"tenants,omitempty"`
-	Latency []LatencyBucket `json:"latency"`
+	Tenants []TenantStats `json:"tenants,omitempty"`
+	// WireCodecs breaks the wire path down by negotiated response codec
+	// ("json", "ndjson", "binary"), sorted by codec name. A proxy answers
+	// with the fleet merge (counters summed by codec).
+	WireCodecs []WireCodecStats `json:"wire_codecs,omitempty"`
+	Latency    []LatencyBucket  `json:"latency"`
 	// TimeToFirstSlot is the streaming analogue of Latency: time from
 	// stream admission until the first slot fragment was ready to flush.
 	// It is the measured signal for the per-shape cost model (see ROADMAP).

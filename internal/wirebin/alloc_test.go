@@ -1,0 +1,99 @@
+package wirebin
+
+import (
+	"fmt"
+	"testing"
+
+	"pops/internal/popsnet"
+	"pops/internal/wire"
+)
+
+// replayReader re-serves the same byte slice forever, resetting on EOF, so a
+// decode loop can run an unbounded number of iterations over one frame
+// without per-iteration reader churn.
+type replayReader struct {
+	data []byte
+	pos  int
+}
+
+func (r *replayReader) Read(p []byte) (int, error) {
+	if r.pos >= len(r.data) {
+		r.pos = 0
+	}
+	n := copy(p, r.data[r.pos:])
+	r.pos += n
+	return n, nil
+}
+
+// allocBudgetSlot is a representative whole-slot record: 16 sends and 16
+// recvs, the shape a d=16 backend streams on the hot path.
+func allocBudgetSlot() wire.StreamSlot {
+	s := wire.StreamSlot{Slot: 12, Color: -1, Offset: 0, Final: true}
+	for i := 0; i < 16; i++ {
+		s.Sends = append(s.Sends, popsnet.Send{Src: i * 17, DestGroup: i % 8, Packet: i * 31})
+		s.Recvs = append(s.Recvs, popsnet.Recv{Proc: i * 13, SrcGroup: (i + 3) % 8})
+	}
+	return s
+}
+
+// TestWireEncodeAllocBudget is the wire-path half of `make alloc-guard`: a
+// steady-state slot record must encode and decode with zero allocations per
+// operation, mirroring the factorizer arena budget on the library side.
+func TestWireEncodeAllocBudget(t *testing.T) {
+	slot := allocBudgetSlot()
+	e := GetEncoder()
+	defer PutEncoder(e)
+	// Warm the encoder buffer once; steady state reuses it.
+	frame := append([]byte(nil), e.AppendSlot(&slot)...)
+
+	if got := testing.AllocsPerRun(200, func() {
+		e.AppendSlot(&slot)
+	}); got != 0 {
+		t.Errorf("AppendSlot: %v allocs/op, want 0", got)
+	}
+
+	d := NewDecoder(&replayReader{data: frame})
+	var out wire.StreamSlot
+	// Warm the decoder buffer and the decode-into slices.
+	typ, payload, err := d.ReadFrame()
+	if err != nil || typ != FrameSlot {
+		t.Fatalf("warm ReadFrame: typ=%d err=%v", typ, err)
+	}
+	if err := DecodeSlot(payload, &out); err != nil {
+		t.Fatalf("warm DecodeSlot: %v", err)
+	}
+
+	if got := testing.AllocsPerRun(200, func() {
+		typ, payload, err := d.ReadFrame()
+		if err != nil || typ != FrameSlot {
+			panic(fmt.Sprintf("ReadFrame: typ=%d err=%v", typ, err))
+		}
+		if err := DecodeSlot(payload, &out); err != nil {
+			panic(err)
+		}
+	}); got != 0 {
+		t.Errorf("ReadFrame+DecodeSlot: %v allocs/op, want 0", got)
+	}
+}
+
+// TestReframerAllocBudget keeps the proxy relay path on the same zero
+// steady-state budget: relaying a frame must not allocate once the buffer is
+// warm.
+func TestReframerAllocBudget(t *testing.T) {
+	slot := allocBudgetSlot()
+	e := GetEncoder()
+	defer PutEncoder(e)
+	frame := append([]byte(nil), e.AppendSlot(&slot)...)
+
+	rf := NewReframer(&replayReader{data: frame})
+	if _, err := rf.Next(); err != nil {
+		t.Fatalf("warm Next: %v", err)
+	}
+	if got := testing.AllocsPerRun(200, func() {
+		if _, err := rf.Next(); err != nil {
+			panic(err)
+		}
+	}); got != 0 {
+		t.Errorf("Reframer.Next: %v allocs/op, want 0", got)
+	}
+}
